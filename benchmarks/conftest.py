@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+corresponding :mod:`repro.experiments` driver and attaches the computed
+rows to ``benchmark.extra_info`` so the numbers appear in the report.
+
+Scale: benchmarks honour ``REPRO_SCALE`` like the experiment CLIs but
+default to 0.25 (a quarter of the paper's corpus sizes) so the whole
+suite runs in minutes; set ``REPRO_SCALE=1.0`` to regenerate everything
+at paper scale.  Corpora are cached on disk across runs.
+"""
+
+import os
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "0.25")
+
+from repro.experiments import common  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def corpora():
+    """The three per-service evaluation corpora (cached)."""
+    return {svc: common.get_corpus(svc) for svc in common.SERVICES}
+
+
+@pytest.fixture(scope="session")
+def svc1_corpus(corpora):
+    """Svc1's corpus (most single-service experiments use it)."""
+    return corpora["svc1"]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    These are end-to-end experiment regenerations (minutes, not
+    microseconds), so a single round is the right measurement.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

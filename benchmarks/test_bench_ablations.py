@@ -1,0 +1,27 @@
+"""Benchmark: design-choice ablations (temporal grid, forest size)."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_bench_interval_grid_ablation(benchmark, svc1_corpus):
+    result = run_once(benchmark, ablations.interval_ablation, svc1_corpus)
+    benchmark.extra_info["grids"] = {
+        name: round(r["accuracy"], 3) for name, r in result.items()
+    }
+    # The paper's early-weighted grid should not lose to the coarse one
+    # (fine intervals near session start carry the buffer-empty signal).
+    assert result["paper"]["accuracy"] >= result["coarse"]["accuracy"] - 0.03
+
+
+def test_bench_forest_size_ablation(benchmark, svc1_corpus):
+    result = run_once(
+        benchmark, ablations.forest_size_ablation, svc1_corpus, (5, 15, 30, 60)
+    )
+    benchmark.extra_info["by_size"] = {
+        n: round(r["accuracy"], 3) for n, r in result.items()
+    }
+    # More trees must not meaningfully hurt, and 60 trees should beat
+    # a 5-tree forest's variance.
+    assert result[60]["accuracy"] >= result[5]["accuracy"] - 0.01

@@ -1,0 +1,32 @@
+"""Benchmark: application-design sensitivity (paper §4.3 limitation #1)."""
+
+from conftest import run_once
+
+from repro.experiments import appdesign
+from repro.experiments.common import corpus_size
+
+
+def test_bench_appdesign(benchmark):
+    n = max(150, corpus_size("svc2") // 4)
+    result = run_once(benchmark, appdesign.run, n)
+    benchmark.extra_info["designs"] = {
+        name: {
+            "full_accuracy": round(r["full_accuracy"], 3),
+            "tls_per_session": round(r["tls_per_session"], 1),
+        }
+        for name, r in result.items()
+    }
+    # The adversarial single-connection design must actually collapse
+    # the TLS-transaction granularity...
+    assert (
+        result["mono"]["tls_per_session"]
+        < result["baseline"]["tls_per_session"] / 2
+    )
+    # ...and the fine-grained features must not gain MORE there than on
+    # the baseline design (the paper's predicted degradation).
+    assert (
+        result["mono"]["fine_feature_gain"]
+        <= result["baseline"]["fine_feature_gain"] + 0.02
+    )
+    # Inference stays robust to a mere ABR swap (BOLA variant).
+    assert result["bola"]["full_accuracy"] > 0.6

@@ -1,0 +1,48 @@
+"""Benchmarks: extension experiments (generalization, interactions)."""
+
+from conftest import run_once
+
+from repro.experiments import generalization, interactions
+from repro.experiments.common import corpus_size
+
+
+def test_bench_generalization(benchmark, corpora):
+    result = run_once(benchmark, generalization.run, corpora)
+    services = list(result)
+    benchmark.extra_info["accuracy_matrix"] = {
+        a: {b: round(result[a][b]["accuracy"], 3) for b in services}
+        for a in services
+    }
+    # Shape: in-service (diagonal) beats the average cross-service
+    # transfer for every service.
+    for svc in services:
+        others = [result[svc][t]["accuracy"] for t in services if t != svc]
+        assert result[svc][svc]["accuracy"] > sum(others) / len(others)
+
+
+def test_bench_interactions(benchmark, corpora):
+    interactive = interactions.collect_interactive_corpus(
+        "svc1", corpus_size("svc1"), seed=777
+    )
+    result = run_once(
+        benchmark,
+        interactions.run,
+        "svc1",
+        corpora["svc1"],
+        interactive,
+    )
+    benchmark.extra_info["protocols"] = {
+        k: {m: round(v, 3) for m, v in r.items()}
+        for k, r in result.items()
+        if k != "interaction_rates"
+    }
+    # Shape: interactions hurt a clean-trained model; retraining on
+    # interactive data recovers a meaningful share of the loss.
+    assert (
+        result["clean->interactive"]["accuracy"]
+        < result["clean->clean"]["accuracy"]
+    )
+    assert (
+        result["interactive->interactive"]["accuracy"]
+        > result["clean->interactive"]["accuracy"]
+    )

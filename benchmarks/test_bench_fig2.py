@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 2 (TLS vs HTTP transaction granularity)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, svc1_corpus):
+    result = run_once(benchmark, fig2.run, svc1_corpus)
+    benchmark.extra_info["mean_http_per_tls"] = round(result["mean_http_per_tls"], 2)
+    benchmark.extra_info["mean_tls_per_session"] = round(
+        result["mean_tls_per_session"], 1
+    )
+    benchmark.extra_info["paper_http_per_tls"] = result["paper_http_per_tls"]
+    # Shape: one TLS transaction carries several HTTP transactions.
+    assert result["mean_http_per_tls"] > 2.0
+    # The sample session's first seconds show the Figure-2 picture:
+    # multiple concurrent TLS transactions with HTTP inside them.
+    assert len(result["sample_tls_intervals"]) >= 2
+    assert len(result["sample_http_starts"]) > len(result["sample_tls_intervals"])

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 3 (bandwidth-trace statistics)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, corpora):
+    result = run_once(benchmark, fig3.run, corpora)
+    benchmark.extra_info["bandwidth_kbps_percentiles"] = result[
+        "bandwidth_kbps_percentiles"
+    ]
+    benchmark.extra_info["duration_bucket_shares"] = result["duration_bucket_shares"]
+    # Figure 3a: the CDF spans roughly 10^2 to 10^5 kbps.
+    assert result["min_bandwidth_kbps"] < 1_000
+    assert result["max_bandwidth_kbps"] > 30_000
+    # Figure 3b: every duration bucket is populated.
+    assert all(share > 0.05 for share in result["duration_bucket_shares"].values())

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 4 (ground-truth QoE distributions)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, corpora):
+    result = run_once(benchmark, fig4.run, corpora)
+    for target in ("rebuffering", "quality", "combined"):
+        benchmark.extra_info[target] = {
+            svc: [round(x, 3) for x in dist]
+            for svc, dist in result[target].items()
+        }
+    # Paper shape: Svc1 rarely re-buffers (its 'high' rr share is the
+    # smallest) but pays in video quality (largest low-quality share).
+    rr_high = {svc: dist[0] for svc, dist in result["rebuffering"].items()}
+    q_low = {svc: dist[0] for svc, dist in result["quality"].items()}
+    assert rr_high["svc1"] == min(rr_high.values())
+    assert rr_high["svc2"] == max(rr_high.values())
+    assert q_low["svc1"] >= q_low["svc2"]

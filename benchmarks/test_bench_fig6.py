@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (top-10 feature importances)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6(benchmark, corpora):
+    result = run_once(benchmark, fig6.run, corpora)
+    benchmark.extra_info["common_features"] = result["common_features"]
+    for svc, r in result["per_service"].items():
+        benchmark.extra_info[svc] = r["top_features"]
+    # Paper shape: a handful of features is important everywhere
+    # (the paper finds 4 common to all three services)...
+    assert len(result["common_features"]) >= 2
+    # ...and some features matter for only one service (paper: 8).
+    n_exclusive = sum(len(v) for v in result["exclusive_features"].values())
+    assert n_exclusive >= 3
+    # Downlink-volume/rate signals dominate: every service's top-10
+    # contains early cumulative-downlink or downlink-rate features.
+    for svc, r in result["per_service"].items():
+        top = set(r["top_features"])
+        assert top & {"CUM_DL_30s", "CUM_DL_60s", "CUM_DL_120s", "SDR_DL", "TDR_MED", "TDR_MAX"}, svc

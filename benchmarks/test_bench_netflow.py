@@ -1,0 +1,29 @@
+"""Benchmark: the TLS / NetFlow / packet accuracy-granularity spectrum
+(extension of the paper's §5 future work)."""
+
+from conftest import run_once
+
+from repro.experiments import netflow_tradeoff
+
+
+def test_bench_netflow_tradeoff(benchmark, corpora):
+    result = run_once(benchmark, netflow_tradeoff.run, corpora)
+    for svc, by_source in result.items():
+        benchmark.extra_info[svc] = {
+            source: {
+                "accuracy": round(r["accuracy"], 3),
+                "records_per_session": round(r["records_per_session"], 1),
+            }
+            for source, r in by_source.items()
+        }
+    for svc, r in result.items():
+        # Record volume must grow with granularity...
+        assert (
+            r["tls"]["records_per_session"]
+            < 10 * r["netflow"]["records_per_session"]
+        )
+        assert r["packets"]["records_per_session"] > 100 * r["netflow"][
+            "records_per_session"
+        ]
+        # ...and packets must not lose badly to the coarse sources.
+        assert r["packets"]["accuracy"] >= r["tls"]["accuracy"] - 0.03

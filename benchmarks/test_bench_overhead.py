@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the overhead comparison (paper §4.2)."""
+
+from conftest import run_once
+
+from repro.experiments import overhead
+
+
+def test_bench_overhead(benchmark, svc1_corpus):
+    result = run_once(benchmark, overhead.run, svc1_corpus)
+    benchmark.extra_info["packets_per_session"] = round(
+        result["packets_per_session"]
+    )
+    benchmark.extra_info["tls_per_session"] = round(result["tls_per_session"], 1)
+    benchmark.extra_info["record_ratio"] = round(result["record_ratio"])
+    benchmark.extra_info["compute_ratio"] = round(result["compute_ratio"], 1)
+    # Paper shape: packet-level data is orders of magnitude heavier —
+    # ~1400x the records and ~60x the featurization compute.
+    assert result["record_ratio"] > 100
+    assert result["compute_ratio"] > 10
+    # TLS transactions are genuinely lightweight: tens per session.
+    assert result["tls_per_session"] < 100
+    assert result["packets_per_session"] > 10_000

@@ -1,0 +1,33 @@
+"""Benchmarks: partial-session detection and startup-delay extensions."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import realtime, startup
+
+
+def test_bench_realtime(benchmark, svc1_corpus):
+    result = run_once(benchmark, realtime.run, svc1_corpus)
+    benchmark.extra_info["by_window"] = {
+        w: {k: (round(v, 3) if not math.isnan(v) else None) for k, v in r.items()}
+        for w, r in result.items()
+    }
+    # Shape: longer observation windows never lose much accuracy, and
+    # the full session is at least as good as the first 30 s.
+    if not math.isnan(result["30s"]["accuracy"]):
+        assert result["full"]["accuracy"] >= result["30s"]["accuracy"] - 0.02
+    # Observability grows with the window.
+    assert result["full"]["coverage"] >= result["30s"]["coverage"]
+
+
+def test_bench_startup(benchmark, svc1_corpus):
+    result = run_once(benchmark, startup.run, svc1_corpus)
+    benchmark.extra_info["accuracy"] = round(result["accuracy"], 3)
+    benchmark.extra_info["distribution"] = [
+        round(x, 3) for x in result["distribution"]
+    ]
+    # Startup delay is recoverable from early byte counts: clearly
+    # better than the majority-class baseline.
+    majority = max(result["distribution"])
+    assert result["accuracy"] > majority + 0.05

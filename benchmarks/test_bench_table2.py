@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (Svc1 combined-QoE confusion matrix)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, svc1_corpus):
+    result = run_once(benchmark, table2.run, svc1_corpus)
+    benchmark.extra_info["row_percent"] = np.round(result["row_percent"], 1).tolist()
+    benchmark.extra_info["neighbour_error_share"] = round(
+        result["neighbour_error_share"], 3
+    )
+    row = result["row_percent"]
+    # Paper shape: strong low/high diagonals, weaker medium diagonal.
+    assert row[0, 0] > 60
+    assert row[2, 2] > 60
+    assert row[1, 1] < row[0, 0]
+    assert row[1, 1] < row[2, 2]
+    # Errors concentrate between neighbouring classes.
+    assert result["neighbour_error_share"] > 0.5

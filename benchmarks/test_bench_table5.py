@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 5 (session-boundary detection)."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_bench_table5(benchmark):
+    result = run_once(
+        benchmark, table5.run, "svc1", 6, 15  # 6 streams x 15 sessions
+    )
+    benchmark.extra_info["row_percent"] = result["row_percent"].tolist()
+    benchmark.extra_info["n_sessions"] = result["n_sessions"]
+    # Paper: 98% of existing and 89% of new transactions correct.
+    assert result["existing_correct"] > 0.85
+    assert result["new_correct"] > 0.6
+
+
+def test_bench_table5_parameter_sweep(benchmark):
+    rows = run_once(benchmark, table5.sweep, "svc1", 3, 10)
+    paper_point = next(
+        r
+        for r in rows
+        if r["window_s"] == 3.0 and r["n_min"] == 2 and r["delta_min"] == 0.5
+    )
+    benchmark.extra_info["paper_operating_point"] = {
+        "existing": round(paper_point["existing_correct"], 3),
+        "new": round(paper_point["new_correct"], 3),
+    }
+    # Monotone sanity: demanding a bigger newer-server majority can only
+    # reduce detected boundaries (recall of 'new'), never increase it.
+    for window in (1.0, 3.0, 6.0, 10.0):
+        series = [
+            r["new_correct"]
+            for r in sorted(
+                (r for r in rows if r["window_s"] == window and r["n_min"] == 2),
+                key=lambda r: r["delta_min"],
+            )
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,91 @@
+"""Adaptive network monitoring — the paper's motivating ISP scenario.
+
+An ISP wants to find *network locations* with video performance issues
+using only lightweight proxy data, then spend its expensive packet-
+capture budget on the problem spots (paper §1, §4.2 takeaways).
+
+The script:
+
+1. trains the TLS-transaction QoE model on a labelled corpus (the lab
+   testbed),
+2. simulates a deployment: several "cell sites", each with its own
+   network profile, streaming sessions the model has never seen,
+3. estimates per-session QoE from the proxy's TLS transactions alone,
+4. ranks cells by their estimated low-QoE rate and flags the worst for
+   fine-grained (packet-level) collection — and checks the flags
+   against ground truth.
+
+Run with::
+
+    python examples/isp_monitoring.py
+"""
+
+import numpy as np
+
+from repro.collection import CollectionConfig, collect_corpus
+from repro.features import extract_tls_matrix
+from repro.ml import RandomForestClassifier
+from repro.net.bandwidth import TraceFamily
+
+TRAIN_SESSIONS = 400
+SESSIONS_PER_CELL = 60
+
+#: Each cell site's radio conditions: trace mixture weights.
+CELL_PROFILES = {
+    "cell-A (healthy urban)": {TraceFamily.FCC: 0.5, TraceFamily.LTE: 0.5},
+    "cell-B (good LTE)": {TraceFamily.LTE: 1.0},
+    "cell-C (congested 3G)": {TraceFamily.HSDPA_3G: 1.0},
+    "cell-D (mixed suburban)": {
+        TraceFamily.FCC: 0.2,
+        TraceFamily.LTE: 0.3,
+        TraceFamily.HSDPA_3G: 0.5,
+    },
+}
+
+
+def main() -> None:
+    print(f"training QoE model on {TRAIN_SESSIONS} labelled sessions...")
+    train = collect_corpus("svc2", TRAIN_SESSIONS, seed=11)
+    X_train, _ = extract_tls_matrix(train)
+    model = RandomForestClassifier(
+        n_estimators=60, min_samples_leaf=2, random_state=0
+    )
+    model.fit(X_train, train.labels("combined"))
+
+    print(f"monitoring {len(CELL_PROFILES)} cells, "
+          f"{SESSIONS_PER_CELL} sessions each\n")
+    rows = []
+    for cell_id, (cell, weights) in enumerate(CELL_PROFILES.items()):
+        config = CollectionConfig(trace_weights=weights)
+        observed = collect_corpus("svc2", SESSIONS_PER_CELL,
+                                  seed=1000 + cell_id, config=config)
+        X, _ = extract_tls_matrix(observed)
+        estimated_low = float((model.predict(X) == 0).mean())
+        actual_low = float((observed.labels("combined") == 0).mean())
+        rows.append((cell, estimated_low, actual_low))
+
+    rows.sort(key=lambda r: r[1], reverse=True)
+    print(f"{'cell':28s} {'est. low-QoE':>12s} {'actual':>8s}  action")
+    flagged = []
+    for cell, estimated, actual in rows:
+        flag = estimated > 0.4
+        action = "-> collect packet traces" if flag else "ok"
+        if flag:
+            flagged.append((cell, actual))
+        print(f"{cell:28s} {estimated:12.0%} {actual:8.0%}  {action}")
+
+    worst_cell = max(rows, key=lambda r: r[2])[0]
+    hit = any(cell == worst_cell for cell, _ in flagged)
+    print(
+        f"\nworst cell by ground truth: {worst_cell} — "
+        f"{'flagged correctly' if hit else 'MISSED by the estimator'}"
+    )
+    print(
+        "an ISP following these flags inspects "
+        f"{len(flagged)}/{len(CELL_PROFILES)} cells at packet granularity "
+        "instead of all of them (the paper's adaptive-monitoring pitch)."
+    )
+
+
+if __name__ == "__main__":
+    main()

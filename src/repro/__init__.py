@@ -1,0 +1,26 @@
+"""repro — reproduction of "Drop the Packets" (CoNEXT 2020).
+
+A library for estimating per-session video Quality of Experience (QoE)
+from coarse-grained TLS transaction data, together with every substrate
+the paper depends on: an HTTP Adaptive Streaming (HAS) simulator, a
+TCP/TLS/transparent-proxy network model, synthetic bandwidth traces, a
+packet-trace baseline (ML16), a from-scratch machine-learning stack, and
+a back-to-back session-boundary detector.
+
+Typical use::
+
+    from repro.collection import collect_corpus
+    from repro.features import extract_tls_matrix
+    from repro.ml import RandomForestClassifier, cross_validate
+
+    dataset = collect_corpus("svc1", n_sessions=200, seed=7)
+    X, names = extract_tls_matrix(dataset)
+    y = dataset.labels("combined")
+    report = cross_validate(
+        RandomForestClassifier(n_estimators=60, random_state=0), X, y
+    )
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Five subcommands cover the operational workflow an ISP user of this
+library would run::
+
+    python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
+    python -m repro train    --corpus corpus.json.gz -o model.pkl
+    python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
+    python -m repro split    --transactions stream.json [--demo svc1]
+    python -m repro experiment fig5 table3 ...   (or: all)
+
+Models are pickled Random Forests together with their feature schema;
+corpora use the dataset JSON format of
+:mod:`repro.collection.dataset`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.collection.dataset import Dataset
+from repro.collection.harness import collect_corpus
+from repro.features.tls_features import extract_tls_features, extract_tls_matrix
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import evaluate_predictions
+from repro.ml.model_selection import cross_validate
+from repro.qoe.labels import TARGETS
+from repro.qoe.metrics import COMBINED_NAMES
+from repro.sessions.boundary import BoundaryConfig, split_sessions
+from repro.sessions.workload import back_to_back_stream
+from repro.tlsproxy.records import TlsTransaction
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    dataset = collect_corpus(args.service, args.sessions, seed=args.seed)
+    dataset.save(args.output)
+    dist = dataset.label_distribution("combined")
+    print(
+        f"collected {len(dataset)} {args.service} sessions -> {args.output} "
+        f"(combined QoE: {dist[0]:.0%}/{dist[1]:.0%}/{dist[2]:.0%} low/med/high)"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = Dataset.load(args.corpus)
+    X, names = extract_tls_matrix(dataset)
+    y = dataset.labels(args.target)
+    model = RandomForestClassifier(
+        n_estimators=args.trees, min_samples_leaf=2, random_state=args.seed
+    )
+    model.fit(X, y)
+    payload = {
+        "model": model,
+        "feature_names": names,
+        "target": args.target,
+        "service": dataset.service,
+        "version": __version__,
+    }
+    Path(args.output).write_bytes(pickle.dumps(payload))
+    print(
+        f"trained {args.trees}-tree forest on {len(dataset)} sessions "
+        f"({dataset.service}, target={args.target}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = Dataset.load(args.corpus)
+    X, _ = extract_tls_matrix(dataset)
+    y = dataset.labels(args.target)
+    if args.model:
+        payload = pickle.loads(Path(args.model).read_bytes())
+        if payload["target"] != args.target:
+            print(
+                f"warning: model was trained for target {payload['target']!r}",
+                file=sys.stderr,
+            )
+        report = evaluate_predictions(y, payload["model"].predict(X))
+        mode = f"model {args.model}"
+    else:
+        model = RandomForestClassifier(
+            n_estimators=args.trees, min_samples_leaf=2, random_state=args.seed
+        )
+        report = cross_validate(model, X, y, n_splits=5)
+        mode = "5-fold cross validation"
+    print(
+        f"{mode} on {len(dataset)} sessions ({args.target}): "
+        f"accuracy {report.accuracy:.1%}, low-class recall {report.recall:.1%}, "
+        f"precision {report.precision:.1%}"
+    )
+    print("confusion matrix (rows=actual low/med/high):")
+    print(report.confusion)
+    return 0
+
+
+def _load_transactions(path: str) -> list[TlsTransaction]:
+    rows = json.loads(Path(path).read_text())
+    return [
+        TlsTransaction(
+            start=r[0], end=r[1], uplink_bytes=int(r[2]),
+            downlink_bytes=int(r[3]), sni=r[4],
+        )
+        for r in rows
+    ]
+
+
+def _cmd_split(args: argparse.Namespace) -> int:
+    if args.demo:
+        stream = back_to_back_stream(args.demo, args.demo_sessions, seed=args.seed)
+        transactions = list(stream.transactions)
+        print(
+            f"demo stream: {len(transactions)} transactions from "
+            f"{stream.n_sessions} true sessions"
+        )
+    elif args.transactions:
+        transactions = _load_transactions(args.transactions)
+    else:
+        print("error: provide --transactions FILE or --demo SERVICE", file=sys.stderr)
+        return 2
+    config = BoundaryConfig(
+        window_s=args.window, n_min=args.n_min, delta_min=args.delta_min
+    )
+    groups = split_sessions(transactions, config, min_transactions=args.min_transactions)
+    print(f"detected {len(groups)} sessions:")
+    model_payload = (
+        pickle.loads(Path(args.model).read_bytes()) if args.model else None
+    )
+    for i, group in enumerate(groups, 1):
+        start = min(t.start for t in group)
+        end = max(t.end for t in group)
+        line = f"  session {i}: {len(group)} transactions, [{start:.1f}s, {end:.1f}s]"
+        if model_payload:
+            features = extract_tls_features(group).reshape(1, -1)
+            category = int(model_payload["model"].predict(features)[0])
+            line += f", estimated QoE: {COMBINED_NAMES[category]}"
+        print(line)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+
+    if "all" in args.names:
+        run_all.main()
+        return 0
+    import importlib
+
+    for name in args.names:
+        try:
+            module = importlib.import_module(f"repro.experiments.{name}")
+        except ImportError:
+            print(f"error: unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Video-QoE estimation from coarse-grained TLS transaction data",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="simulate and store a session corpus")
+    p.add_argument("--service", choices=("svc1", "svc2", "svc3"), required=True)
+    p.add_argument("-n", "--sessions", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser("train", help="train a QoE model on a corpus")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--target", choices=TARGETS, default="combined")
+    p.add_argument("--trees", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate via CV or a trained model")
+    p.add_argument("--corpus", required=True)
+    p.add_argument("--target", choices=TARGETS, default="combined")
+    p.add_argument("--model", help="pickled model from 'train' (else 5-fold CV)")
+    p.add_argument("--trees", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("split", help="split a transaction stream into sessions")
+    p.add_argument("--transactions", help="JSON: [[start,end,ul,dl,sni],...]")
+    p.add_argument("--demo", choices=("svc1", "svc2", "svc3"),
+                   help="generate a demo back-to-back stream instead")
+    p.add_argument("--demo-sessions", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=float, default=3.0)
+    p.add_argument("--n-min", type=int, default=2)
+    p.add_argument("--delta-min", type=float, default=0.5)
+    p.add_argument("--min-transactions", type=int, default=5)
+    p.add_argument("--model", help="optionally score each detected session")
+    p.set_defaults(func=_cmd_split)
+
+    p = sub.add_parser("experiment", help="run paper experiments by name")
+    p.add_argument("names", nargs="+",
+                   help="e.g. fig5 table3 overhead ... or 'all'")
+    p.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,345 @@
+"""Dataset containers.
+
+A corpus of thousands of sessions cannot keep every simulated object
+alive, so each session is reduced to a :class:`SessionRecord`: TLS
+transactions (small — ~20 per session), HTTP transactions and transport
+transfers as parallel numpy arrays (a few hundred rows), connection
+metadata, and the ground-truth labels.  Packet traces are *not* stored;
+they are synthesized on demand from the transfer arrays by
+:func:`SessionRecord.packet_trace`.
+
+Records serialize to plain JSON (optionally gzipped) so corpora can be
+cached between experiment runs.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.has.player import SessionTrace
+from repro.has.services import ServiceProfile, get_service
+from repro.net.packets import PacketTrace, synthesize_packet_trace
+from repro.net.tcp import Transfer
+from repro.qoe.labels import SessionLabels, compute_labels
+from repro.tlsproxy.records import ResourceType, TlsTransaction
+
+__all__ = ["SessionRecord", "Dataset"]
+
+_RESOURCE_CODES = {rt: i for i, rt in enumerate(ResourceType)}
+_RESOURCE_FROM_CODE = {i: rt for rt, i in _RESOURCE_CODES.items()}
+
+#: Columns of the transfer array, in order.
+_TRANSFER_COLUMNS = (
+    "connection_id",
+    "start",
+    "response_start",
+    "end",
+    "request_bytes",
+    "response_bytes",
+    "n_packets_down",
+    "n_packets_up",
+    "n_retransmits",
+    "rtt_s",
+)
+
+
+@dataclass
+class SessionRecord:
+    """One collected session, compact enough to hold thousands of.
+
+    Attributes
+    ----------
+    service:
+        Service name (``svc1``/``svc2``/``svc3``).
+    video_id:
+        Title streamed.
+    tls_transactions:
+        The proxy's coarse-grained export — the estimator's input.
+    http:
+        HTTP transactions as parallel arrays: ``start``, ``end``,
+        ``request_bytes``, ``response_bytes``, ``resource_code``,
+        ``quality`` (dict of numpy arrays).
+    transfers:
+        Transport transfers as a ``(n, 10)`` float array with columns
+        :data:`_TRANSFER_COLUMNS`; feeds packet-trace synthesis.
+    connections:
+        ``(connection_id, opened_at, rtt_s)`` rows, ``(m, 3)`` floats.
+    labels:
+        Ground-truth categorical QoE.
+    """
+
+    service: str
+    video_id: str
+    tls_transactions: list[TlsTransaction]
+    http: dict[str, np.ndarray]
+    transfers: np.ndarray
+    connections: np.ndarray
+    labels: SessionLabels
+    watch_duration_s: float
+    session_end: float
+    play_time: float
+    stall_time: float
+    startup_delay: float
+    link_mean_bps: float
+    session_hosts: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: SessionTrace, profile: ServiceProfile) -> "SessionRecord":
+        """Reduce a full simulation trace to its stored record."""
+        http = {
+            "start": np.array([t.start for t in trace.http_transactions]),
+            "end": np.array([t.end for t in trace.http_transactions]),
+            "request_bytes": np.array(
+                [t.request_bytes for t in trace.http_transactions], dtype=np.int64
+            ),
+            "response_bytes": np.array(
+                [t.response_bytes for t in trace.http_transactions], dtype=np.int64
+            ),
+            "resource_code": np.array(
+                [_RESOURCE_CODES[t.resource_type] for t in trace.http_transactions],
+                dtype=np.int8,
+            ),
+            "quality": np.array(
+                [t.quality_index for t in trace.http_transactions], dtype=np.int8
+            ),
+        }
+        transfers = np.array(
+            [
+                (
+                    t.connection_id,
+                    t.start,
+                    t.response_start,
+                    t.end,
+                    t.request_bytes,
+                    t.response_bytes,
+                    t.n_packets_down,
+                    t.n_packets_up,
+                    t.n_retransmits,
+                    t.rtt_s,
+                )
+                for t in trace.transfers
+            ],
+            dtype=np.float64,
+        ).reshape(-1, len(_TRANSFER_COLUMNS))
+        connections = np.array(
+            [(c.connection_id, c.opened_at, c.rtt_s) for c in trace.connections],
+            dtype=np.float64,
+        ).reshape(-1, 3)
+        return cls(
+            service=trace.service_name,
+            video_id=trace.video_id,
+            tls_transactions=list(trace.tls_transactions),
+            http=http,
+            transfers=transfers,
+            connections=connections,
+            labels=compute_labels(trace, profile),
+            watch_duration_s=trace.watch_duration_s,
+            session_end=trace.session_end,
+            play_time=trace.play_time,
+            stall_time=trace.stall_time,
+            startup_delay=trace.startup_delay,
+            link_mean_bps=trace.link_mean_bps,
+            session_hosts=tuple(sorted(trace.hosts.all_hosts)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tls_transactions(self) -> int:
+        """TLS transactions in the session (the paper's ~19.5 for Svc1)."""
+        return len(self.tls_transactions)
+
+    @property
+    def n_http_transactions(self) -> int:
+        """HTTP transactions in the session."""
+        return int(self.http["start"].shape[0])
+
+    @property
+    def n_packets(self) -> int:
+        """Packets the session's trace would contain (without synthesis)."""
+        if self.transfers.shape[0] == 0:
+            return 0
+        data = int(self.transfers[:, 6].sum() + self.transfers[:, 7].sum())
+        # Handshake packets: TCP(3) + ClientHello(1) + server flight(3).
+        return data + 7 * int(self.connections.shape[0])
+
+    def iter_transfers(self) -> Iterator[Transfer]:
+        """Reconstruct :class:`~repro.net.tcp.Transfer` objects."""
+        for row in self.transfers:
+            yield Transfer(
+                connection_id=int(row[0]),
+                start=float(row[1]),
+                response_start=float(row[2]),
+                end=float(row[3]),
+                request_bytes=int(row[4]),
+                response_bytes=int(row[5]),
+                n_packets_down=int(row[6]),
+                n_packets_up=int(row[7]),
+                n_retransmits=int(row[8]),
+                rtt_s=float(row[9]),
+            )
+
+    def packet_trace(self, seed: int = 0) -> PacketTrace:
+        """Synthesize this session's packet trace on demand."""
+        connections = [
+            (int(row[0]), float(row[1]), float(row[2])) for row in self.connections
+        ]
+        return synthesize_packet_trace(
+            self.iter_transfers(), connections, rng=np.random.default_rng(seed)
+        )
+
+    def resource_mask(self, resource: ResourceType) -> np.ndarray:
+        """Boolean mask over HTTP transactions of the given type."""
+        return self.http["resource_code"] == _RESOURCE_CODES[resource]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "service": self.service,
+            "video_id": self.video_id,
+            "tls_transactions": [
+                [t.start, t.end, t.uplink_bytes, t.downlink_bytes, t.sni]
+                for t in self.tls_transactions
+            ],
+            "http": {k: v.tolist() for k, v in self.http.items()},
+            "transfers": self.transfers.tolist(),
+            "connections": self.connections.tolist(),
+            "labels": {
+                "rebuffering_ratio": self.labels.rebuffering_ratio,
+                "rebuffering": self.labels.rebuffering,
+                "quality": self.labels.quality,
+                "combined": self.labels.combined,
+            },
+            "watch_duration_s": self.watch_duration_s,
+            "session_end": self.session_end,
+            "play_time": self.play_time,
+            "stall_time": self.stall_time,
+            "startup_delay": self.startup_delay,
+            "link_mean_bps": self.link_mean_bps,
+            "session_hosts": list(self.session_hosts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SessionRecord":
+        """Inverse of :meth:`to_dict`."""
+        http = {
+            "start": np.asarray(payload["http"]["start"], dtype=np.float64),
+            "end": np.asarray(payload["http"]["end"], dtype=np.float64),
+            "request_bytes": np.asarray(payload["http"]["request_bytes"], dtype=np.int64),
+            "response_bytes": np.asarray(
+                payload["http"]["response_bytes"], dtype=np.int64
+            ),
+            "resource_code": np.asarray(payload["http"]["resource_code"], dtype=np.int8),
+            "quality": np.asarray(payload["http"]["quality"], dtype=np.int8),
+        }
+        labels = SessionLabels(
+            rebuffering_ratio=payload["labels"]["rebuffering_ratio"],
+            rebuffering=payload["labels"]["rebuffering"],
+            quality=payload["labels"]["quality"],
+            combined=payload["labels"]["combined"],
+        )
+        return cls(
+            service=payload["service"],
+            video_id=payload["video_id"],
+            tls_transactions=[
+                TlsTransaction(
+                    start=row[0],
+                    end=row[1],
+                    uplink_bytes=int(row[2]),
+                    downlink_bytes=int(row[3]),
+                    sni=row[4],
+                )
+                for row in payload["tls_transactions"]
+            ],
+            http=http,
+            transfers=np.asarray(payload["transfers"], dtype=np.float64).reshape(
+                -1, len(_TRANSFER_COLUMNS)
+            ),
+            connections=np.asarray(payload["connections"], dtype=np.float64).reshape(
+                -1, 3
+            ),
+            labels=labels,
+            watch_duration_s=payload["watch_duration_s"],
+            session_end=payload["session_end"],
+            play_time=payload["play_time"],
+            stall_time=payload["stall_time"],
+            startup_delay=payload["startup_delay"],
+            link_mean_bps=payload["link_mean_bps"],
+            session_hosts=tuple(payload["session_hosts"]),
+        )
+
+
+@dataclass
+class Dataset:
+    """A corpus of sessions from one service."""
+
+    service: str
+    sessions: list[SessionRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def __iter__(self) -> Iterator[SessionRecord]:
+        return iter(self.sessions)
+
+    def __getitem__(self, index: int) -> SessionRecord:
+        return self.sessions[index]
+
+    @property
+    def profile(self) -> ServiceProfile:
+        """The service profile this corpus was collected on."""
+        return get_service(self.service)
+
+    def labels(self, target: str) -> np.ndarray:
+        """Ground-truth categories for a target (``combined`` etc.)."""
+        return np.array([s.labels.get(target) for s in self.sessions], dtype=np.int64)
+
+    def label_distribution(self, target: str) -> np.ndarray:
+        """Fraction of sessions per category, ``[low, medium, high]``."""
+        if not self.sessions:
+            return np.zeros(3)
+        counts = np.bincount(self.labels(target), minlength=3)
+        return counts / counts.sum()
+
+    def extend(self, records: Sequence[SessionRecord]) -> None:
+        """Append records, enforcing service consistency."""
+        for record in records:
+            if record.service != self.service:
+                raise ValueError(
+                    f"record from {record.service!r} cannot join {self.service!r} dataset"
+                )
+            self.sessions.append(record)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the corpus as (gzipped, if ``.gz``) JSON."""
+        path = Path(path)
+        payload = {
+            "service": self.service,
+            "sessions": [s.to_dict() for s in self.sessions],
+        }
+        raw = json.dumps(payload, separators=(",", ":")).encode()
+        if path.suffix == ".gz":
+            path.write_bytes(gzip.compress(raw, compresslevel=4))
+        else:
+            path.write_bytes(raw)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Dataset":
+        """Read a corpus written by :meth:`save`."""
+        path = Path(path)
+        raw = path.read_bytes()
+        if path.suffix == ".gz":
+            raw = gzip.decompress(raw)
+        payload = json.loads(raw)
+        return cls(
+            service=payload["service"],
+            sessions=[SessionRecord.from_dict(p) for p in payload["sessions"]],
+        )

@@ -1,0 +1,99 @@
+"""Design-choice ablations beyond the paper's tables.
+
+Two knobs the paper identifies but does not tabulate:
+
+* **Temporal-interval grid** (§3): "we consider these intervals as one
+  of the hyperparameters of our model".  Sweeps coarse/paper/fine/
+  early-heavy grids.
+* **Forest size**: how many trees the Random Forest needs before the
+  accuracy plateau.
+"""
+
+from __future__ import annotations
+
+from repro.collection.dataset import Dataset
+from repro.experiments.common import (
+    default_forest,
+    format_percent,
+    format_table,
+    get_corpus,
+)
+from repro.features.tls_features import extract_tls_matrix
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import cross_validate
+
+__all__ = ["INTERVAL_GRIDS", "interval_ablation", "forest_size_ablation", "main"]
+
+#: Candidate temporal-interval grids (seconds).
+INTERVAL_GRIDS = {
+    "coarse": (300, 600, 1200),
+    "uniform": (150, 300, 450, 600, 750, 900, 1050, 1200),
+    "paper": (30, 60, 120, 240, 480, 720, 960, 1200),
+    "early-heavy": (10, 20, 30, 45, 60, 90, 120, 1200),
+}
+
+
+def interval_ablation(dataset: Dataset | None = None, target: str = "combined") -> dict:
+    """Accuracy/recall per temporal-interval grid."""
+    dataset = dataset if dataset is not None else get_corpus("svc1")
+    y = dataset.labels(target)
+    result = {}
+    for name, intervals in INTERVAL_GRIDS.items():
+        X, _ = extract_tls_matrix(dataset, intervals=intervals)
+        report = cross_validate(default_forest(), X, y, n_splits=5)
+        result[name] = {
+            "intervals": intervals,
+            "accuracy": report.accuracy,
+            "recall": report.recall,
+        }
+    return result
+
+
+def forest_size_ablation(
+    dataset: Dataset | None = None,
+    sizes: tuple[int, ...] = (5, 15, 30, 60, 120),
+    target: str = "combined",
+) -> dict:
+    """Accuracy as a function of the number of trees."""
+    dataset = dataset if dataset is not None else get_corpus("svc1")
+    X, _ = extract_tls_matrix(dataset)
+    y = dataset.labels(target)
+    result = {}
+    for n in sizes:
+        model = RandomForestClassifier(
+            n_estimators=n, min_samples_leaf=2, max_features="sqrt", random_state=0
+        )
+        report = cross_validate(model, X, y, n_splits=5)
+        result[n] = {"accuracy": report.accuracy, "recall": report.recall}
+    return result
+
+
+def main() -> dict:
+    """Run and print both ablations."""
+    intervals = interval_ablation()
+    print("Ablation — temporal-interval grid (Svc1, combined QoE)")
+    print(
+        format_table(
+            ["grid", "accuracy", "recall"],
+            [
+                [name, format_percent(r["accuracy"]), format_percent(r["recall"])]
+                for name, r in intervals.items()
+            ],
+        )
+    )
+    trees = forest_size_ablation()
+    print("\nAblation — forest size (Svc1, combined QoE)")
+    print(
+        format_table(
+            ["trees", "accuracy", "recall"],
+            [
+                [str(n), format_percent(r["accuracy"]), format_percent(r["recall"])]
+                for n, r in trees.items()
+            ],
+        )
+    )
+    return {"intervals": intervals, "forest_size": trees}
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Shared infrastructure for the experiment drivers.
+
+Corpora are expensive (minutes at paper scale), so they are cached both
+in-process and on disk under ``.cache/`` next to the repository root.
+The cache key is (service, size, seed), and records round-trip through
+the dataset's JSON serialization, so a cached corpus is bit-identical
+to a fresh one.
+
+Scale control: ``REPRO_SCALE`` (float, default 1.0) multiplies the
+paper's corpus sizes — ``REPRO_SCALE=0.2`` runs every experiment on a
+fifth of the data for quick iteration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.collection.dataset import Dataset
+from repro.collection.harness import collect_corpus
+from repro.ml.forest import RandomForestClassifier
+
+__all__ = [
+    "PAPER_CORPUS_SIZES",
+    "SERVICES",
+    "scale",
+    "corpus_size",
+    "get_corpus",
+    "default_forest",
+    "format_table",
+    "format_percent",
+]
+
+#: Session counts of the paper's evaluation corpora (§4.1).
+PAPER_CORPUS_SIZES = {"svc1": 2111, "svc2": 2216, "svc3": 1440}
+
+#: Evaluation order used throughout the paper.
+SERVICES = ("svc1", "svc2", "svc3")
+
+#: Seed base for corpus collection; per-service offsets keep corpora
+#: independent.
+_CORPUS_SEEDS = {"svc1": 101, "svc2": 202, "svc3": 303}
+
+#: Bump when simulator behaviour changes so stale disk caches are
+#: ignored (the key otherwise only encodes service/size/seed).
+CACHE_VERSION = 3
+
+_MEMORY_CACHE: dict[tuple[str, int, int], Dataset] = {}
+
+
+def scale() -> float:
+    """The REPRO_SCALE environment knob (default 1.0)."""
+    value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    if value <= 0:
+        raise ValueError("REPRO_SCALE must be positive")
+    return value
+
+
+def corpus_size(service: str) -> int:
+    """Paper corpus size for ``service``, scaled by REPRO_SCALE."""
+    return max(60, int(round(PAPER_CORPUS_SIZES[service] * scale())))
+
+
+def _cache_dir() -> Path:
+    root = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def get_corpus(
+    service: str,
+    n_sessions: int | None = None,
+    seed: int | None = None,
+    use_disk_cache: bool = True,
+) -> Dataset:
+    """The evaluation corpus for one service, cached.
+
+    ``n_sessions`` defaults to the paper's (scaled) corpus size and
+    ``seed`` to the service's canonical collection seed.
+    """
+    if n_sessions is None:
+        n_sessions = corpus_size(service)
+    if seed is None:
+        seed = _CORPUS_SEEDS[service]
+    key = (service, n_sessions, seed)
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    path = _cache_dir() / f"corpus-v{CACHE_VERSION}-{service}-{n_sessions}-{seed}.json.gz"
+    if use_disk_cache and path.exists():
+        dataset = Dataset.load(path)
+    else:
+        dataset = collect_corpus(service, n_sessions, seed=seed)
+        if use_disk_cache:
+            dataset.save(path)
+    _MEMORY_CACHE[key] = dataset
+    return dataset
+
+
+def default_forest(random_state: int = 0) -> RandomForestClassifier:
+    """The Random Forest configuration used across experiments."""
+    return RandomForestClassifier(
+        n_estimators=60,
+        min_samples_leaf=2,
+        max_features="sqrt",
+        random_state=random_state,
+    )
+
+
+def format_percent(value: float) -> str:
+    """``0.734`` → ``"73%"`` (paper tables use integer percent)."""
+    if np.isnan(value):
+        return "  -"
+    return f"{round(100 * value):3d}%"
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text aligned table."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Extension: cross-service model generalization (paper §5 future work).
+
+The paper trains one model per service and asks, as future work,
+whether models generalize "across different device platforms and
+service types".  This experiment trains the combined-QoE model on each
+service's corpus and evaluates it on every other service, producing a
+train-service x test-service accuracy matrix.
+
+Expected shape: a strong diagonal (the paper's per-service protocol)
+with off-diagonal degradation that is worst between the services with
+the most dissimilar designs (Svc1's quality-sacrificing ABR vs Svc2's
+stall-tolerant one).
+"""
+
+from __future__ import annotations
+
+from repro.collection.dataset import Dataset
+from repro.experiments.common import (
+    SERVICES,
+    default_forest,
+    format_percent,
+    format_table,
+    get_corpus,
+)
+from repro.features.tls_features import extract_tls_matrix
+from repro.ml.metrics import evaluate_predictions
+from repro.ml.model_selection import cross_validate
+
+__all__ = ["run", "main"]
+
+
+def run(datasets: dict[str, Dataset] | None = None, target: str = "combined") -> dict:
+    """Train-on-A / test-on-B accuracy and low-QoE recall matrix."""
+    if datasets is None:
+        datasets = {svc: get_corpus(svc) for svc in SERVICES}
+    features = {svc: extract_tls_matrix(ds)[0] for svc, ds in datasets.items()}
+    labels = {svc: ds.labels(target) for svc, ds in datasets.items()}
+
+    matrix: dict[str, dict[str, dict]] = {}
+    for train_svc in datasets:
+        matrix[train_svc] = {}
+        for test_svc in datasets:
+            if train_svc == test_svc:
+                report = cross_validate(
+                    default_forest(), features[train_svc], labels[train_svc]
+                )
+            else:
+                model = default_forest()
+                model.fit(features[train_svc], labels[train_svc])
+                y_pred = model.predict(features[test_svc])
+                report = evaluate_predictions(labels[test_svc], y_pred)
+            matrix[train_svc][test_svc] = {
+                "accuracy": report.accuracy,
+                "recall": report.recall,
+            }
+    return matrix
+
+
+def main() -> dict:
+    """Run and print the generalization matrix."""
+    result = run()
+    services = list(result)
+    print("Extension — cross-service generalization (accuracy, combined QoE)")
+    rows = []
+    for train_svc in services:
+        rows.append(
+            [f"train {train_svc}"]
+            + [format_percent(result[train_svc][t]["accuracy"]) for t in services]
+        )
+    print(format_table(["", *(f"test {s}" for s in services)], rows))
+    print("\nlow-QoE recall:")
+    rows = [
+        [f"train {train_svc}"]
+        + [format_percent(result[train_svc][t]["recall"]) for t in services]
+        for train_svc in services
+    ]
+    print(format_table(["", *(f"test {s}" for s in services)], rows))
+    diag = sum(result[s][s]["accuracy"] for s in services) / len(services)
+    off = [
+        result[a][b]["accuracy"] for a in services for b in services if a != b
+    ]
+    print(
+        f"\nmean in-service accuracy {diag:.0%} vs cross-service "
+        f"{sum(off) / len(off):.0%} — per-service training matters."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Run every experiment and print the full paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.run_all            # paper scale
+    REPRO_SCALE=0.2 python -m repro.experiments.run_all
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    ablations,
+    appdesign,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    generalization,
+    interactions,
+    models,
+    netflow_tradeoff,
+    overhead,
+    realtime,
+    startup,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.common import SERVICES, corpus_size, scale
+
+_EXPERIMENTS = (
+    ("Figure 2", fig2),
+    ("Figure 3", fig3),
+    ("Figure 4", fig4),
+    ("Figure 5", fig5),
+    ("Table 2", table2),
+    ("Table 3", table3),
+    ("Figure 6", fig6),
+    ("Figure 7", fig7),
+    ("Table 4", table4),
+    ("Table 5", table5),
+    ("Overhead", overhead),
+    ("Model sweep", models),
+    ("Ablations", ablations),
+    ("Extension: NetFlow trade-off", netflow_tradeoff),
+    ("Extension: cross-service generalization", generalization),
+    ("Extension: user interactions", interactions),
+    ("Extension: partial-session detection", realtime),
+    ("Extension: startup-delay estimation", startup),
+    ("Extension: application-design sensitivity", appdesign),
+)
+
+
+def main() -> None:
+    """Run every experiment driver in paper order."""
+    sizes = ", ".join(f"{svc}={corpus_size(svc)}" for svc in SERVICES)
+    print(f"repro experiment suite — scale={scale()} ({sizes} sessions)")
+    total_start = time.time()
+    for title, module in _EXPERIMENTS:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+        start = time.time()
+        module.main()
+        print(f"[{title} done in {time.time() - start:.1f}s]")
+    print(f"\nTotal: {time.time() - total_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

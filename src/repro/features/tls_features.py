@@ -1,0 +1,156 @@
+"""The 38 TLS-transaction features of the paper (§3, Table 1).
+
+Three groups, all computable from nothing but (start, end, uplink
+bytes, downlink bytes) of a session's TLS transactions:
+
+* **Session-level (4)** — ``SDR_DL``, ``SDR_UL`` (session data rates),
+  ``SES_DUR`` (duration), ``TRANS_PER_SEC``.
+* **Transaction statistics (18)** — min/median/max of six
+  per-transaction metrics: ``DL_SIZE``, ``UL_SIZE``, ``DUR``, ``TDR``
+  (transaction data rate), ``D2U`` (downlink-to-uplink ratio), ``IAT``
+  (inter-arrival time of transaction starts).
+* **Temporal (16)** — cumulative downlink and uplink bytes inside the
+  growing intervals ``[0, X]`` for X ∈ {30, 60, 120, 240, 480, 720,
+  960, 1200} seconds from session start; transactions partially
+  overlapping an interval contribute pro-rata to their overlap (the
+  paper's footnote 6 approximation).
+
+Rates are in bytes/second and sizes in bytes; tree models are
+scale-invariant and the distance-based models standardize internally.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collection.dataset import Dataset
+from repro.tlsproxy.records import TlsTransaction
+
+__all__ = [
+    "TEMPORAL_INTERVALS",
+    "TLS_FEATURE_NAMES",
+    "feature_groups",
+    "extract_tls_features",
+    "extract_tls_matrix",
+]
+
+#: Interval end-points (seconds) for the temporal features.  The paper
+#: treats these as a tunable hyperparameter; these are its defaults,
+#: finer near session start where an empty buffer makes QoE fragile.
+TEMPORAL_INTERVALS: tuple[int, ...] = (30, 60, 120, 240, 480, 720, 960, 1200)
+
+_SESSION_FEATURES = ("SDR_DL", "SDR_UL", "SES_DUR", "TRANS_PER_SEC")
+_TXN_METRICS = ("DL_SIZE", "UL_SIZE", "DUR", "TDR", "D2U", "IAT")
+_TXN_STATS = ("MIN", "MED", "MAX")
+_TXN_FEATURES = tuple(f"{m}_{s}" for m in _TXN_METRICS for s in _TXN_STATS)
+_TEMPORAL_FEATURES = tuple(
+    f"CUM_{direction}_{x}s" for x in TEMPORAL_INTERVALS for direction in ("DL", "UL")
+)
+
+#: All 38 feature names, in extraction order.
+TLS_FEATURE_NAMES: tuple[str, ...] = (
+    _SESSION_FEATURES + _TXN_FEATURES + _TEMPORAL_FEATURES
+)
+
+
+def temporal_feature_names(
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+) -> tuple[str, ...]:
+    """Temporal feature names for a given interval grid."""
+    return tuple(
+        f"CUM_{direction}_{x}s" for x in intervals for direction in ("DL", "UL")
+    )
+
+
+def feature_names(intervals: tuple[int, ...] = TEMPORAL_INTERVALS) -> tuple[str, ...]:
+    """Full feature schema for a given temporal-interval grid."""
+    return _SESSION_FEATURES + _TXN_FEATURES + temporal_feature_names(intervals)
+
+
+def feature_groups() -> dict[str, tuple[str, ...]]:
+    """The paper's three feature groups (Table 1 / Table 3 ablation)."""
+    return {
+        "session_level": _SESSION_FEATURES,
+        "transaction_stats": _TXN_FEATURES,
+        "temporal": _TEMPORAL_FEATURES,
+    }
+
+
+def _stat_triple(values: np.ndarray) -> tuple[float, float, float]:
+    """(min, median, max); zeros when there are no values."""
+    if values.size == 0:
+        return 0.0, 0.0, 0.0
+    return float(values.min()), float(np.median(values)), float(values.max())
+
+
+def extract_tls_features(
+    transactions: Sequence[TlsTransaction],
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+) -> np.ndarray:
+    """The feature vector of one session (38-dim for the paper's grid).
+
+    ``transactions`` is everything the proxy exported for the session;
+    order does not matter.  ``intervals`` is the temporal-interval
+    hyperparameter (paper §3); the default is the paper's grid.
+    """
+    if not transactions:
+        raise ValueError("a session needs at least one TLS transaction")
+    starts = np.array([t.start for t in transactions])
+    ends = np.array([t.end for t in transactions])
+    uplink = np.array([t.uplink_bytes for t in transactions], dtype=np.float64)
+    downlink = np.array([t.downlink_bytes for t in transactions], dtype=np.float64)
+
+    session_start = float(starts.min())
+    session_end = float(ends.max())
+    ses_dur = max(session_end - session_start, 1e-9)
+    n = len(transactions)
+
+    features = [
+        downlink.sum() / ses_dur,  # SDR_DL
+        uplink.sum() / ses_dur,  # SDR_UL
+        ses_dur,  # SES_DUR
+        n / ses_dur,  # TRANS_PER_SEC
+    ]
+
+    durations = ends - starts
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tdr = np.where(durations > 0, downlink / np.maximum(durations, 1e-9), downlink)
+        d2u = np.where(uplink > 0, downlink / np.maximum(uplink, 1e-9), downlink)
+    iat = np.diff(np.sort(starts))
+    for metric in (downlink, uplink, durations, tdr, d2u, iat):
+        features.extend(_stat_triple(np.asarray(metric, dtype=np.float64)))
+
+    # Temporal: pro-rata share of each transaction inside [0, X].
+    rel_start = starts - session_start
+    rel_end = ends - session_start
+    span = np.maximum(rel_end - rel_start, 1e-9)
+    for x in intervals:
+        overlap = np.clip(np.minimum(rel_end, x) - rel_start, 0.0, None)
+        share = np.minimum(overlap / span, 1.0)
+        features.append(float((downlink * share).sum()))
+        features.append(float((uplink * share).sum()))
+
+    vector = np.asarray(features, dtype=np.float64)
+    if vector.shape[0] != len(feature_names(intervals)):
+        raise AssertionError("feature vector length drifted from the schema")
+    return vector
+
+
+def extract_tls_matrix(
+    dataset: Dataset,
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Feature matrix for a whole corpus.
+
+    Returns ``(X, names)`` with one row per session; ``names`` equals
+    :data:`TLS_FEATURE_NAMES` for the default interval grid.
+    """
+    names = feature_names(intervals)
+    if len(dataset) == 0:
+        return np.empty((0, len(names))), names
+    X = np.vstack(
+        [extract_tls_features(s.tls_transactions, intervals) for s in dataset]
+    )
+    return X, names

@@ -1,0 +1,129 @@
+"""Random Forest classifier.
+
+Bagged CART trees with per-split feature subsampling, soft-vote
+aggregation, Gini feature importances (the paper's Figure 6 is built
+from these), and an optional out-of-bag score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Random Forest with sklearn-like defaults.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed through to each tree.
+    max_features:
+        Features considered per split (default ``"sqrt"``).
+    oob_score:
+        When true, compute the out-of-bag accuracy after fitting.
+    random_state:
+        Seed controlling bootstraps and per-split feature draws.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        oob_score: bool = False,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.oob_score = oob_score
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+        self.feature_importances_: np.ndarray | None = None
+        self.oob_score_: float | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit the ensemble on integer class labels."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        n = X.shape[0]
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        importances = np.zeros(X.shape[1])
+        oob_votes = (
+            np.zeros((n, self.classes_.shape[0])) if self.oob_score else None
+        )
+        oob_counts = np.zeros(n, dtype=np.int64) if self.oob_score else None
+
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(2**31 - 1)),
+            )
+            tree.fit(X[sample], y_enc[sample])
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+            if self.oob_score:
+                mask = np.ones(n, dtype=bool)
+                mask[sample] = False
+                if mask.any():
+                    proba = self._tree_proba(tree, X[mask])
+                    oob_votes[mask] += proba
+                    oob_counts[mask] += 1
+
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        if self.oob_score:
+            seen = oob_counts > 0
+            if seen.any():
+                pred = self.classes_[np.argmax(oob_votes[seen], axis=1)]
+                self.oob_score_ = float(np.mean(pred == y[seen]))
+        return self
+
+    def _tree_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
+        """A tree's probabilities aligned to the forest's class order."""
+        proba = tree.predict_proba(X)
+        if tree.classes_.shape[0] == self.classes_.shape[0]:
+            return proba
+        aligned = np.zeros((X.shape[0], self.classes_.shape[0]))
+        cols = np.searchsorted(self.classes_, tree.classes_)
+        aligned[:, cols] = proba
+        return aligned
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Soft-vote average of the trees' leaf probabilities."""
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((X.shape[0], self.classes_.shape[0]))
+        for tree in self.trees_:
+            proba += self._tree_proba(tree, X)
+        return proba / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most-probable class per row."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

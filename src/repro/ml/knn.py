@@ -1,0 +1,71 @@
+"""k-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier:
+    """Euclidean k-NN with majority vote.
+
+    Features are standardized internally (``scale=True``, the default)
+    because the paper's features span ten orders of magnitude (bytes vs
+    ratios); raw Euclidean distance would be meaningless.
+    """
+
+    def __init__(self, n_neighbors: int = 5, scale: bool = True):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.scale = scale
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorize the training set."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError("need at least n_neighbors training samples")
+        if self.scale:
+            self._scaler = StandardScaler()
+            X = self._scaler.fit_transform(X)
+        self._X = X
+        self.classes_, self._y = np.unique(y, return_inverse=True)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Neighbour-vote fractions per class."""
+        if self._X is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        n_classes = self.classes_.shape[0]
+        proba = np.empty((X.shape[0], n_classes))
+        # Chunk queries to bound the distance-matrix memory.
+        chunk = max(1, int(2**22 // max(self._X.shape[0], 1)))
+        for i in range(0, X.shape[0], chunk):
+            block = X[i : i + chunk]
+            d2 = ((block[:, None, :] - self._X[None, :, :]) ** 2).sum(axis=2)
+            neighbours = np.argpartition(d2, self.n_neighbors - 1, axis=1)[
+                :, : self.n_neighbors
+            ]
+            votes = self._y[neighbours]
+            for k in range(n_classes):
+                proba[i : i + chunk, k] = (votes == k).mean(axis=1)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority class among the k nearest training points."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,125 @@
+"""Classification metrics.
+
+The paper reports overall accuracy plus precision and recall *for the
+low-QoE class* (its operational goal is catching performance issues, so
+low-class recall is the headline number).  :func:`evaluate_predictions`
+packages exactly that triple; the underlying per-class primitives are
+general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "EvalReport",
+    "evaluate_predictions",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]``: true class ``i`` predicted as ``j``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if (y_true < 0).any() or (y_pred < 0).any():
+        raise ValueError("labels must be non-negative integers")
+    if (y_true >= n_classes).any() or (y_pred >= n_classes).any():
+        raise ValueError("labels exceed n_classes")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 0) -> float:
+    """Recall of class ``positive``: TP / (TP + FN).
+
+    Returns ``nan`` when the class never occurs in ``y_true``.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    mask = y_true == positive
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(y_pred[mask] == positive))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 0) -> float:
+    """Precision of class ``positive``: TP / (TP + FP).
+
+    Returns ``nan`` when the class is never predicted.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    mask = y_pred == positive
+    if not mask.any():
+        return float("nan")
+    return float(np.mean(y_true[mask] == positive))
+
+
+@dataclass(frozen=True)
+class EvalReport:
+    """The paper's metric triple plus the full confusion matrix.
+
+    ``recall`` and ``precision`` refer to the low class (category 0)
+    unless the report was built with a different ``positive`` class.
+    """
+
+    accuracy: float
+    recall: float
+    precision: float
+    confusion: np.ndarray
+    positive_class: int = 0
+
+    def confusion_row_percent(self) -> np.ndarray:
+        """Confusion matrix rows normalized to percentages (Table 2)."""
+        totals = self.confusion.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(totals > 0, 100.0 * self.confusion / totals, 0.0)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"accuracy={self.accuracy:.1%} "
+            f"recall(class {self.positive_class})={self.recall:.1%} "
+            f"precision(class {self.positive_class})={self.precision:.1%}"
+        )
+
+
+def evaluate_predictions(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    positive: int = 0,
+    n_classes: int = 3,
+) -> EvalReport:
+    """Accuracy + low-class recall/precision + confusion matrix."""
+    return EvalReport(
+        accuracy=accuracy_score(y_true, y_pred),
+        recall=recall_score(y_true, y_pred, positive=positive),
+        precision=precision_score(y_true, y_pred, positive=positive),
+        confusion=confusion_matrix(y_true, y_pred, n_classes=n_classes),
+        positive_class=positive,
+    )

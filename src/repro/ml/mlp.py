@@ -1,0 +1,155 @@
+"""Multilayer perceptron classifier.
+
+Fully-connected ReLU network with a softmax output, cross-entropy loss,
+and Adam mini-batch optimization.  Inputs are standardized internally —
+the paper's features mix bytes, seconds, and ratios across many orders
+of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["MLPClassifier"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """ReLU MLP trained with Adam on cross-entropy.
+
+    Parameters
+    ----------
+    hidden_layer_sizes:
+        Width of each hidden layer.
+    learning_rate:
+        Adam step size.
+    max_epochs:
+        Passes over the training data.
+    batch_size:
+        Mini-batch size (clipped to the training-set size).
+    alpha:
+        L2 weight penalty.
+    random_state:
+        Seed for initialization and shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (64, 32),
+        learning_rate: float = 1e-3,
+        max_epochs: int = 120,
+        batch_size: int = 64,
+        alpha: float = 1e-4,
+        random_state: int | None = None,
+    ):
+        if not hidden_layer_sizes or any(h < 1 for h in hidden_layer_sizes):
+            raise ValueError("hidden layers must be positive widths")
+        if max_epochs < 1 or batch_size < 1:
+            raise ValueError("max_epochs and batch_size must be >= 1")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.learning_rate = learning_rate
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._scaler: StandardScaler | None = None
+        self.classes_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Activations per layer, input first, logits last."""
+        activations = [X]
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = activations[-1] @ W + b
+            if i < len(self._weights) - 1:
+                z = _relu(z)
+            activations.append(z)
+        return activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        """Train the network."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(X)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        n, d = X.shape
+        k = self.classes_.shape[0]
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_enc] = 1.0
+
+        rng = np.random.default_rng(self.random_state)
+        sizes = (d, *self.hidden_layer_sizes, k)
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(self.batch_size, n)
+
+        for _ in range(self.max_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                rows = order[start : start + batch]
+                activations = self._forward(X[rows])
+                proba = _softmax(activations[-1])
+                delta = (proba - onehot[rows]) / rows.shape[0]
+                step += 1
+                for layer in reversed(range(len(self._weights))):
+                    grad_w = activations[layer].T @ delta + self.alpha * self._weights[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (
+                            activations[layer] > 0
+                        )
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grad_w
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grad_w**2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grad_b
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grad_b**2
+                    mw_hat = m_w[layer] / (1 - beta1**step)
+                    vw_hat = v_w[layer] / (1 - beta2**step)
+                    mb_hat = m_b[layer] / (1 - beta1**step)
+                    vb_hat = v_b[layer] / (1 - beta2**step)
+                    self._weights[layer] -= (
+                        self.learning_rate * mw_hat / (np.sqrt(vw_hat) + eps)
+                    )
+                    self._biases[layer] -= (
+                        self.learning_rate * mb_hat / (np.sqrt(vb_hat) + eps)
+                    )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        if not self._weights:
+            raise RuntimeError("model is not fitted")
+        X = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return _softmax(self._forward(X)[-1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most-probable class per row."""
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

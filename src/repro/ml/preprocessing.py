@@ -1,0 +1,46 @@
+"""Feature preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance feature scaling.
+
+    Distance- and gradient-based models (k-NN, SVM, MLP) need it; tree
+    models do not.  Constant features are left centred but unscaled to
+    avoid dividing by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.mean_.shape[0]:
+            raise ValueError("X has the wrong shape for this scaler")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit, then transform ``X``."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,95 @@
+"""Linear support-vector classifier.
+
+One-vs-rest linear SVMs trained by SGD on the L2-regularized hinge loss
+(Pegasos-style step schedule).  Inputs are standardized internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["LinearSVC"]
+
+
+class LinearSVC:
+    """One-vs-rest linear SVM.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength (larger = less regularization).
+    max_epochs:
+        SGD passes over the data per binary problem.
+    random_state:
+        Seed for shuffling.
+    """
+
+    def __init__(self, C: float = 1.0, max_epochs: int = 60, random_state: int | None = None):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        self.C = C
+        self.max_epochs = max_epochs
+        self.random_state = random_state
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._scaler: StandardScaler | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVC":
+        """Train one binary SVM per class."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError("X and y length mismatch")
+        self._scaler = StandardScaler()
+        X = self._scaler.fit_transform(X)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        n, d = X.shape
+        k = self.classes_.shape[0]
+        lam = 1.0 / (self.C * n)
+        rng = np.random.default_rng(self.random_state)
+        self.coef_ = np.zeros((k, d))
+        self.intercept_ = np.zeros(k)
+
+        for c in range(k):
+            target = np.where(y_enc == c, 1.0, -1.0)
+            w = np.zeros(d)
+            b = 0.0
+            t = 0
+            for _ in range(self.max_epochs):
+                for i in rng.permutation(n):
+                    t += 1
+                    eta = 1.0 / (lam * t)
+                    margin = target[i] * (X[i] @ w + b)
+                    if margin < 1.0:
+                        w = (1 - eta * lam) * w + eta * target[i] * X[i]
+                        b += eta * target[i]
+                    else:
+                        w = (1 - eta * lam) * w
+            self.coef_[c] = w
+            self.intercept_[c] = b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        return X @ self.coef_.T + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class with the largest one-vs-rest margin."""
+        return self.classes_[np.argmax(self.decision_function(X), axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax over margins (not calibrated; for API parity)."""
+        scores = self.decision_function(X)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,36 @@
+"""QoE metric definitions and per-session label computation (paper §2.1).
+
+Three categorical per-session targets:
+
+* **Re-buffering ratio** — stall time over playback time: *zero* /
+  *mild* (0 < rr ≤ 2%) / *high*.
+* **Video quality** — majority resolution category played (*low* /
+  *medium* / *high*), ties broken toward the lower category.
+* **Combined QoE** — the minimum (worse) of the two, on a shared
+  low/medium/high scale where zero re-buffering counts as high.
+"""
+
+from repro.qoe.metrics import (
+    COMBINED_NAMES,
+    QUALITY_NAMES,
+    REBUFFERING_NAMES,
+    combined_qoe,
+    quality_category_counts,
+    rebuffering_category,
+    rebuffering_ratio,
+    video_quality_category,
+)
+from repro.qoe.labels import SessionLabels, compute_labels
+
+__all__ = [
+    "REBUFFERING_NAMES",
+    "QUALITY_NAMES",
+    "COMBINED_NAMES",
+    "rebuffering_ratio",
+    "rebuffering_category",
+    "video_quality_category",
+    "quality_category_counts",
+    "combined_qoe",
+    "SessionLabels",
+    "compute_labels",
+]

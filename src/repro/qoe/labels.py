@@ -1,0 +1,73 @@
+"""Per-session ground-truth labels.
+
+Turns a simulated session's playback timeline into the three
+categorical targets the classifiers estimate.  This mirrors the paper's
+§4.1 pipeline: per-second QoE information collected at the player is
+reduced to per-session categorical values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.has.player import SessionTrace
+from repro.has.services import ServiceProfile
+from repro.qoe.metrics import (
+    combined_qoe,
+    rebuffering_category,
+    rebuffering_ratio,
+    video_quality_category,
+)
+
+__all__ = ["SessionLabels", "compute_labels"]
+
+#: The three estimation targets, by name.
+TARGETS = ("rebuffering", "quality", "combined")
+
+
+@dataclass(frozen=True)
+class SessionLabels:
+    """Ground-truth categorical QoE of one session.
+
+    All categories use the shared 0 (worst) … 2 (best) encoding of
+    :mod:`repro.qoe.metrics`.
+    """
+
+    rebuffering_ratio: float
+    rebuffering: int
+    quality: int
+    combined: int
+
+    def __post_init__(self) -> None:
+        if not (
+            0 <= self.rebuffering <= 2
+            and 0 <= self.quality <= 2
+            and 0 <= self.combined <= 2
+        ):
+            raise ValueError("categories must be 0, 1, or 2")
+
+    def get(self, target: str) -> int:
+        """Category for one of ``rebuffering``/``quality``/``combined``."""
+        if target not in TARGETS:
+            raise ValueError(f"unknown target {target!r}; expected one of {TARGETS}")
+        return getattr(self, target)
+
+
+def compute_labels(trace: SessionTrace, profile: ServiceProfile) -> SessionLabels:
+    """Labels for one simulated session."""
+    if trace.service_name != profile.name:
+        raise ValueError(
+            f"trace is from {trace.service_name!r}, profile is {profile.name!r}"
+        )
+    rr = rebuffering_ratio(trace.stall_time, trace.play_time)
+    rr_cat = rebuffering_category(rr) if rr != float("inf") else 0
+    category_of_quality = [
+        profile.quality_category(q) for q in range(len(profile.ladder))
+    ]
+    quality_cat = video_quality_category(trace.play_events, category_of_quality)
+    return SessionLabels(
+        rebuffering_ratio=rr,
+        rebuffering=rr_cat,
+        quality=quality_cat,
+        combined=combined_qoe(quality_cat, rr_cat),
+    )

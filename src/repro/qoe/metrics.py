@@ -1,0 +1,104 @@
+"""Categorical QoE metrics (paper §2.1).
+
+All three metrics share a 0/1/2 encoding where **0 is always the worst
+category and 2 the best**; this makes the paper's combined-QoE rule a
+plain ``min``.  Display names translate the encoding back to the
+paper's vocabulary (``high`` re-buffering is category 0; ``high`` video
+quality is category 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.has.buffer import PlayEvent
+
+__all__ = [
+    "REBUFFERING_NAMES",
+    "QUALITY_NAMES",
+    "COMBINED_NAMES",
+    "rebuffering_ratio",
+    "rebuffering_category",
+    "video_quality_category",
+    "quality_category_counts",
+    "combined_qoe",
+]
+
+#: Display names per category index (0 = worst).
+REBUFFERING_NAMES = ("high", "mild", "zero")
+QUALITY_NAMES = ("low", "medium", "high")
+COMBINED_NAMES = ("low", "medium", "high")
+
+#: Re-buffering ratio boundary between *mild* and *high* (paper: 2%).
+MILD_REBUFFERING_MAX = 0.02
+
+
+def rebuffering_ratio(stall_time: float, play_time: float) -> float:
+    """Stall time in proportion to playback time.
+
+    A session that stalled but never played (degenerate but possible
+    for very short watch windows) gets ``inf``.
+    """
+    if stall_time < 0 or play_time < 0:
+        raise ValueError("times must be non-negative")
+    if play_time == 0:
+        return float("inf") if stall_time > 0 else 0.0
+    return stall_time / play_time
+
+
+def rebuffering_category(rr: float, threshold: float = MILD_REBUFFERING_MAX) -> int:
+    """Categorize a re-buffering ratio: 2 zero, 1 mild, 0 high."""
+    if rr < 0:
+        raise ValueError("re-buffering ratio must be non-negative")
+    if rr == 0:
+        return 2
+    if rr <= threshold:
+        return 1
+    return 0
+
+
+def quality_category_counts(
+    play_events: Iterable[PlayEvent],
+    category_of_quality: Sequence[int],
+) -> np.ndarray:
+    """Seconds played in each quality category (low/medium/high).
+
+    ``category_of_quality[q]`` maps ladder index ``q`` to its category
+    (a service's resolution thresholds; see
+    :meth:`repro.has.services.ServiceProfile.quality_category`).
+    """
+    counts = np.zeros(3, dtype=np.float64)
+    for event in play_events:
+        category = category_of_quality[event.quality]
+        if not 0 <= category <= 2:
+            raise ValueError("quality categories must be 0, 1, or 2")
+        counts[category] += event.duration
+    return counts
+
+
+def video_quality_category(
+    play_events: Iterable[PlayEvent],
+    category_of_quality: Sequence[int],
+) -> int:
+    """Majority quality category of a session; ties go to the *lower*
+    category (paper §2.1).
+
+    Sessions that never played anything are assigned low (0): nothing
+    was delivered, which is the worst experience.
+    """
+    counts = quality_category_counts(play_events, category_of_quality)
+    if counts.sum() == 0:
+        return 0
+    # argmax returns the first (lowest) index on ties, which is exactly
+    # the paper's tie-breaking rule.
+    return int(np.argmax(counts))
+
+
+def combined_qoe(quality_category: int, rebuffering_cat: int) -> int:
+    """Combined QoE: the worse of the two metrics (paper §2.1)."""
+    for value in (quality_category, rebuffering_cat):
+        if not 0 <= value <= 2:
+            raise ValueError("categories must be 0, 1, or 2")
+    return min(quality_category, rebuffering_cat)

@@ -1,0 +1,144 @@
+"""The session-boundary heuristic (paper §4.2, Table 5).
+
+For each transaction, look at the burst of *succeeding* transactions
+starting within a window ``W`` after it: if the burst is big enough
+(``N >= N_min``) and a large enough fraction of it targets servers
+unseen in the running session (``δ >= δ_min``), the transaction starts
+a new session.  The paper's parameters are W = 3 s, N_min = 2,
+δ_min = 0.5.
+
+The two insights this encodes: a session's beginning is characterized
+by several TLS transactions (page, manifest, license, first segments),
+and the CDN edge hostnames serving content usually change between
+sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.metrics import confusion_matrix
+from repro.tlsproxy.records import TlsTransaction
+
+__all__ = ["BoundaryConfig", "detect_session_starts", "evaluate_boundary_detection"]
+
+
+@dataclass(frozen=True)
+class BoundaryConfig:
+    """Heuristic parameters (paper defaults)."""
+
+    window_s: float = 3.0
+    n_min: int = 2
+    delta_min: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+        if self.n_min < 1:
+            raise ValueError("n_min must be >= 1")
+        if not 0.0 <= self.delta_min <= 1.0:
+            raise ValueError("delta_min must be in [0, 1]")
+
+
+def detect_session_starts(
+    transactions: Sequence[TlsTransaction],
+    config: BoundaryConfig | None = None,
+) -> np.ndarray:
+    """Flag the transactions that start a new session.
+
+    ``transactions`` is the merged stream a proxy sees for one
+    (user, service) pair.  Returns a boolean array aligned with the
+    stream sorted by start time; the caller should sort first (the
+    function sorts internally and maps flags back to the input order).
+
+    The first transaction of the stream is always a session start.
+    """
+    config = config or BoundaryConfig()
+    n = len(transactions)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    starts = np.array([t.start for t in transactions])
+    order = np.argsort(starts, kind="stable")
+    sorted_starts = starts[order]
+    sorted_snis = [transactions[i].sni for i in order]
+
+    flags_sorted = np.zeros(n, dtype=bool)
+    current_servers: set[str] = set()
+    for pos in range(n):
+        if pos == 0:
+            flags_sorted[0] = True
+            current_servers = {sorted_snis[0]}
+            continue
+        # The paper considers the set of *succeeding* transactions
+        # starting within W seconds of this one.
+        t0 = sorted_starts[pos]
+        hi = int(np.searchsorted(sorted_starts, t0 + config.window_s, side="right"))
+        burst = range(pos + 1, hi)
+        n_burst = hi - (pos + 1)
+        if n_burst >= config.n_min and current_servers:
+            unseen = sum(
+                1 for j in burst if sorted_snis[j] not in current_servers
+            )
+            delta = unseen / n_burst
+            if delta >= config.delta_min:
+                flags_sorted[pos] = True
+                current_servers = set()
+        current_servers.add(sorted_snis[pos])
+
+    flags = np.zeros(n, dtype=bool)
+    flags[order] = flags_sorted
+    return flags
+
+
+def split_sessions(
+    transactions: Sequence[TlsTransaction],
+    config: BoundaryConfig | None = None,
+    min_transactions: int = 1,
+) -> list[list[TlsTransaction]]:
+    """Group a merged stream into per-session transaction lists.
+
+    Runs :func:`detect_session_starts` and cuts the (time-sorted)
+    stream at every detected boundary.  Groups smaller than
+    ``min_transactions`` — usually spurious boundaries triggered by
+    mid-session CDN switches — are merged into the preceding session,
+    a practical post-filter an ISP deployment would apply.
+    """
+    if min_transactions < 1:
+        raise ValueError("min_transactions must be >= 1")
+    if not transactions:
+        return []
+    ordered = sorted(transactions, key=lambda t: (t.start, t.end))
+    flags = detect_session_starts(ordered, config)
+    groups: list[list[TlsTransaction]] = []
+    for txn, is_start in zip(ordered, flags):
+        if is_start and not (groups and len(groups[-1]) < min_transactions):
+            groups.append([])
+        if not groups:
+            groups.append([])
+        groups[-1].append(txn)
+    # A trailing undersized group still merges backwards.
+    if len(groups) > 1 and len(groups[-1]) < min_transactions:
+        tail = groups.pop()
+        groups[-1].extend(tail)
+    return groups
+
+
+def evaluate_boundary_detection(
+    predicted_new: np.ndarray,
+    actual_new: np.ndarray,
+) -> np.ndarray:
+    """Table-5 confusion matrix over transactions.
+
+    Rows are the actual classes (existing, new), columns the predicted
+    ones; entries are counts.
+    """
+    predicted_new = np.asarray(predicted_new, dtype=bool)
+    actual_new = np.asarray(actual_new, dtype=bool)
+    if predicted_new.shape != actual_new.shape:
+        raise ValueError("prediction/truth shape mismatch")
+    return confusion_matrix(
+        actual_new.astype(np.int64), predicted_new.astype(np.int64), n_classes=2
+    )

@@ -1,0 +1,135 @@
+"""CDN hostname (SNI) models.
+
+Streaming services spread a session's traffic across several hostnames:
+stable API/manifest hosts, per-session CDN edge caches (whose hostnames
+encode the cache node and therefore change between sessions), and
+telemetry hosts.  The paper's session-boundary heuristic (§4.2,
+Table 5) leans on exactly this: *"the set of servers serving content are
+likely to change when a new session begins."*
+
+:class:`ServiceHostModel` describes a service's hostname structure;
+:meth:`ServiceHostModel.sample_session_hosts` draws the concrete
+hostnames one playback session will contact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tlsproxy.records import ResourceType
+
+__all__ = ["ServiceHostModel", "SessionHosts"]
+
+
+@dataclass(frozen=True)
+class ServiceHostModel:
+    """Hostname structure of one streaming service.
+
+    Parameters
+    ----------
+    service:
+        Service identifier (e.g. ``"svc1"``), embedded in hostnames.
+    n_edge_nodes:
+        Size of the CDN edge fleet; each session draws its media hosts
+        from this pool, so back-to-back sessions usually see different
+        edges.
+    edges_per_session:
+        How many distinct edge hosts one session's segments use.
+    separate_audio_host:
+        Whether audio segments go to a different edge than video
+        (some services split A/V across connections).
+    """
+
+    service: str
+    n_edge_nodes: int = 400
+    edges_per_session: int = 2
+    separate_audio_host: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_edge_nodes < 1:
+            raise ValueError("n_edge_nodes must be positive")
+        if not 1 <= self.edges_per_session <= self.n_edge_nodes:
+            raise ValueError("edges_per_session must be in [1, n_edge_nodes]")
+
+    @property
+    def api_host(self) -> str:
+        """Stable API/manifest hostname (same for every session)."""
+        return f"api.{self.service}.example"
+
+    @property
+    def beacon_host(self) -> str:
+        """Stable telemetry hostname."""
+        return f"telemetry.{self.service}.example"
+
+    @property
+    def page_host(self) -> str:
+        """Stable web/player hostname."""
+        return f"www.{self.service}.example"
+
+    def edge_host(self, node: int) -> str:
+        """Hostname of edge cache ``node``."""
+        if not 0 <= node < self.n_edge_nodes:
+            raise ValueError("edge node out of range")
+        return f"edge{node:04d}.cdn.{self.service}.example"
+
+    def sample_session_hosts(self, rng: np.random.Generator) -> "SessionHosts":
+        """Draw the hostnames one session will use."""
+        nodes = rng.choice(self.n_edge_nodes, size=self.edges_per_session, replace=False)
+        edges = [self.edge_host(int(n)) for n in nodes]
+        audio = edges[-1] if self.separate_audio_host and len(edges) > 1 else edges[0]
+        return SessionHosts(
+            api=self.api_host,
+            page=self.page_host,
+            beacon=self.beacon_host,
+            video_edges=tuple(edges),
+            audio_edge=audio,
+        )
+
+
+@dataclass(frozen=True)
+class SessionHosts:
+    """Concrete hostnames for one playback session."""
+
+    api: str
+    page: str
+    beacon: str
+    video_edges: tuple[str, ...]
+    audio_edge: str
+
+    def __post_init__(self) -> None:
+        if not self.video_edges:
+            raise ValueError("a session needs at least one video edge host")
+
+    def host_for(self, resource: ResourceType, rng: np.random.Generator) -> str:
+        """Pick the hostname serving ``resource``.
+
+        Video segments rotate among the session's edge hosts (services
+        commonly fail over or load-balance between a couple of edges);
+        everything else has a fixed home.
+        """
+        if resource is ResourceType.VIDEO_SEGMENT:
+            if len(self.video_edges) == 1:
+                return self.video_edges[0]
+            # Strongly prefer the primary edge.
+            if rng.random() < 0.85:
+                return self.video_edges[0]
+            others = self.video_edges[1:]
+            return others[int(rng.integers(len(others)))]
+        if resource is ResourceType.AUDIO_SEGMENT:
+            return self.audio_edge
+        if resource in (ResourceType.MANIFEST, ResourceType.LICENSE):
+            return self.api
+        if resource is ResourceType.BEACON:
+            return self.beacon
+        if resource in (ResourceType.PLAYER_PAGE, ResourceType.THUMBNAIL):
+            return self.page
+        raise ValueError(f"unknown resource type: {resource!r}")
+
+    @property
+    def all_hosts(self) -> frozenset[str]:
+        """Every hostname this session may contact."""
+        return frozenset(
+            {self.api, self.page, self.beacon, self.audio_edge, *self.video_edges}
+        )

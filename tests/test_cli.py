@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.json.gz"
+    assert main(["collect", "--service", "svc3", "-n", "60", "--seed", "3",
+                 "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, corpus_path):
+    path = tmp_path_factory.mktemp("cli-model") / "model.pkl"
+    assert main(["train", "--corpus", str(corpus_path), "--trees", "15",
+                 "-o", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_collect_requires_service(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["collect", "-o", "x.json"])
+
+
+class TestCollect:
+    def test_output_file_created(self, corpus_path):
+        assert corpus_path.exists()
+
+    def test_collected_corpus_loads(self, corpus_path):
+        from repro.collection.dataset import Dataset
+
+        dataset = Dataset.load(corpus_path)
+        assert len(dataset) == 60
+        assert dataset.service == "svc3"
+
+
+class TestTrainEvaluate:
+    def test_model_file_created(self, model_path):
+        assert model_path.exists()
+
+    def test_evaluate_with_cv(self, corpus_path, capsys):
+        assert main(["evaluate", "--corpus", str(corpus_path), "--trees", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "cross validation" in out
+        assert "accuracy" in out
+
+    def test_evaluate_with_model(self, corpus_path, model_path, capsys):
+        assert main([
+            "evaluate", "--corpus", str(corpus_path), "--model", str(model_path)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "model" in out
+
+    def test_model_payload_contents(self, model_path):
+        import pickle
+
+        payload = pickle.loads(model_path.read_bytes())
+        assert payload["target"] == "combined"
+        assert payload["service"] == "svc3"
+        assert len(payload["feature_names"]) == 38
+
+
+class TestSplit:
+    def test_demo_split(self, capsys):
+        assert main(["split", "--demo", "svc1", "--demo-sessions", "4",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+
+    def test_split_requires_input(self, capsys):
+        assert main(["split"]) == 2
+
+    def test_split_from_file(self, tmp_path, capsys):
+        rows = [
+            [0.0, 5.0, 1000, 100000, "www.svc1.example"],
+            [0.5, 6.0, 1000, 500000, "edge0001.cdn.svc1.example"],
+            [1.0, 8.0, 1000, 500000, "edge0002.cdn.svc1.example"],
+        ]
+        path = tmp_path / "stream.json"
+        path.write_text(json.dumps(rows))
+        assert main(["split", "--transactions", str(path),
+                     "--min-transactions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "session 1" in out
+
+    def test_split_with_model_scores_sessions(self, model_path, capsys):
+        assert main(["split", "--demo", "svc3", "--demo-sessions", "3",
+                     "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "estimated QoE" in out
+
+
+class TestExperimentCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "not_a_real_one"]) == 2
+
+    def test_named_experiment_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.03")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out

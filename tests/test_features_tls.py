@@ -1,0 +1,187 @@
+"""Tests for repro.features.tls_features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.harness import collect_corpus
+from repro.features.tls_features import (
+    TEMPORAL_INTERVALS,
+    TLS_FEATURE_NAMES,
+    extract_tls_features,
+    extract_tls_matrix,
+    feature_groups,
+)
+from repro.tlsproxy.records import TlsTransaction
+
+
+def txn(start, end, up, down, sni="edge0001.cdn.svc1.example"):
+    return TlsTransaction(
+        start=start, end=end, uplink_bytes=up, downlink_bytes=down, sni=sni
+    )
+
+
+def feat(transactions):
+    vector = extract_tls_features(transactions)
+    return dict(zip(TLS_FEATURE_NAMES, vector))
+
+
+class TestSchema:
+    def test_38_features(self):
+        """The paper's count: 4 + 18 + 16 = 38."""
+        assert len(TLS_FEATURE_NAMES) == 38
+
+    def test_groups_partition_schema(self):
+        groups = feature_groups()
+        assert len(groups["session_level"]) == 4
+        assert len(groups["transaction_stats"]) == 18
+        assert len(groups["temporal"]) == 16
+        combined = (
+            groups["session_level"] + groups["transaction_stats"] + groups["temporal"]
+        )
+        assert set(combined) == set(TLS_FEATURE_NAMES)
+        assert len(combined) == 38
+
+    def test_paper_headline_features_present(self):
+        """Figure 6's cross-service features must exist by name."""
+        for name in ("SDR_DL", "TDR_MED", "D2U_MED", "CUM_DL_60s"):
+            assert name in TLS_FEATURE_NAMES
+
+    def test_paper_interval_grid(self):
+        assert TEMPORAL_INTERVALS == (30, 60, 120, 240, 480, 720, 960, 1200)
+
+
+class TestSessionLevelFeatures:
+    def test_sdr_and_duration(self):
+        f = feat([txn(0.0, 10.0, 1_000, 50_000), txn(10.0, 20.0, 1_000, 50_000)])
+        assert f["SES_DUR"] == pytest.approx(20.0)
+        assert f["SDR_DL"] == pytest.approx(100_000 / 20.0)
+        assert f["SDR_UL"] == pytest.approx(2_000 / 20.0)
+        assert f["TRANS_PER_SEC"] == pytest.approx(2 / 20.0)
+
+    def test_session_start_not_at_zero(self):
+        base = feat([txn(0.0, 10.0, 100, 1000)])
+        shifted = feat([txn(500.0, 510.0, 100, 1000)])
+        assert base["SES_DUR"] == pytest.approx(shifted["SES_DUR"])
+        assert base["SDR_DL"] == pytest.approx(shifted["SDR_DL"])
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError):
+            extract_tls_features([])
+
+
+class TestTransactionStats:
+    def test_min_med_max(self):
+        f = feat(
+            [
+                txn(0.0, 1.0, 100, 1_000),
+                txn(1.0, 3.0, 200, 2_000),
+                txn(3.0, 6.0, 300, 6_000),
+            ]
+        )
+        assert f["DL_SIZE_MIN"] == 1_000
+        assert f["DL_SIZE_MED"] == 2_000
+        assert f["DL_SIZE_MAX"] == 6_000
+        assert f["UL_SIZE_MED"] == 200
+        assert f["DUR_MIN"] == pytest.approx(1.0)
+        assert f["DUR_MAX"] == pytest.approx(3.0)
+
+    def test_tdr_is_per_transaction_rate(self):
+        f = feat([txn(0.0, 2.0, 100, 10_000), txn(2.0, 4.0, 100, 30_000)])
+        assert f["TDR_MIN"] == pytest.approx(5_000)
+        assert f["TDR_MAX"] == pytest.approx(15_000)
+
+    def test_d2u_ratio(self):
+        f = feat([txn(0.0, 1.0, 100, 10_000)])
+        assert f["D2U_MED"] == pytest.approx(100.0)
+
+    def test_iat_from_sorted_starts(self):
+        f = feat(
+            [txn(0.0, 1.0, 1, 1), txn(5.0, 6.0, 1, 1), txn(2.0, 3.0, 1, 1)]
+        )
+        assert f["IAT_MIN"] == pytest.approx(2.0)
+        assert f["IAT_MAX"] == pytest.approx(3.0)
+
+    def test_single_transaction_iat_zero(self):
+        f = feat([txn(0.0, 1.0, 1, 1)])
+        assert f["IAT_MIN"] == 0.0
+        assert f["IAT_MED"] == 0.0
+        assert f["IAT_MAX"] == 0.0
+
+
+class TestTemporalFeatures:
+    def test_fully_contained_transaction(self):
+        f = feat([txn(0.0, 10.0, 500, 5_000)])
+        assert f["CUM_DL_30s"] == pytest.approx(5_000)
+        assert f["CUM_UL_30s"] == pytest.approx(500)
+        assert f["CUM_DL_1200s"] == pytest.approx(5_000)
+
+    def test_partial_overlap_prorated(self):
+        # Transaction spans 20-40 s; half overlaps [0, 30].
+        f = feat([txn(0.0, 0.1, 1, 1), txn(20.0, 40.0, 1_000, 10_000)])
+        assert f["CUM_DL_30s"] == pytest.approx(1 + 5_000, rel=1e-6)
+        assert f["CUM_DL_60s"] == pytest.approx(1 + 10_000, rel=1e-6)
+
+    def test_cumulative_monotone_in_interval(self):
+        transactions = [
+            txn(float(i * 37), float(i * 37 + 30), 100 * (i + 1), 10_000 * (i + 1))
+            for i in range(10)
+        ]
+        f = feat(transactions)
+        values = [f[f"CUM_DL_{x}s"] for x in TEMPORAL_INTERVALS]
+        assert values == sorted(values)
+
+    @given(
+        n=st.integers(1, 12),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_last_interval_captures_everything(self, n, seed):
+        rng = np.random.default_rng(seed)
+        transactions = []
+        for _ in range(n):
+            start = float(rng.uniform(0, 1100))
+            end = start + float(rng.uniform(0.1, 90))
+            transactions.append(
+                txn(start, end, int(rng.integers(1, 10_000)), int(rng.integers(1, 1e7)))
+            )
+        f = feat(transactions)
+        total_dl = sum(t.downlink_bytes for t in transactions)
+        # Sessions fit inside 1200 s, so CUM_DL_1200s == total downlink.
+        session_span = max(t.end for t in transactions) - min(
+            t.start for t in transactions
+        )
+        if session_span <= 1200:
+            assert f["CUM_DL_1200s"] == pytest.approx(total_dl, rel=1e-9)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_features_always_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        transactions = [
+            txn(
+                float(rng.uniform(0, 100)),
+                float(rng.uniform(100, 200)),
+                int(rng.integers(0, 1000)),
+                int(rng.integers(0, 1e6)),
+            )
+            for _ in range(int(rng.integers(1, 8)))
+        ]
+        vector = extract_tls_features(transactions)
+        assert np.isfinite(vector).all()
+
+
+class TestMatrixExtraction:
+    def test_matrix_shape(self):
+        ds = collect_corpus("svc3", 8, seed=0)
+        X, names = extract_tls_matrix(ds)
+        assert X.shape == (8, 38)
+        assert names == TLS_FEATURE_NAMES
+        assert np.isfinite(X).all()
+
+    def test_empty_dataset(self):
+        from repro.collection.dataset import Dataset
+
+        X, names = extract_tls_matrix(Dataset(service="svc1"))
+        assert X.shape == (0, 38)

@@ -1,0 +1,182 @@
+"""Tests for repro.has.abr."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.has.abr import AbrState, BufferBasedAbr, HybridAbr, ThroughputAbr
+from repro.has.video import QualityLadder, QualityLevel
+
+
+def ladder():
+    return QualityLadder(
+        levels=(
+            QualityLevel("240p", 240, 3e5),
+            QualityLevel("360p", 360, 7e5),
+            QualityLevel("480p", 480, 1.4e6),
+            QualityLevel("720p", 720, 3e6),
+            QualityLevel("1080p", 1080, 5.5e6),
+        )
+    )
+
+
+def state(buffer_s=20.0, tput=None, last=None, capacity=60.0):
+    return AbrState(
+        buffer_level_s=buffer_s,
+        throughput_bps=tput,
+        last_quality=last,
+        buffer_capacity_s=capacity,
+    )
+
+
+class TestThroughputAbr:
+    def test_rejects_bad_safety(self):
+        with pytest.raises(ValueError):
+            ThroughputAbr(ladder(), safety=0.0)
+
+    def test_no_estimate_starts_lowest(self):
+        assert ThroughputAbr(ladder()).choose(state(tput=None)) == 0
+
+    def test_picks_sustainable_level(self):
+        abr = ThroughputAbr(ladder(), safety=1.0)
+        assert abr.choose(state(tput=1.5e6, last=2)) == 2
+        assert abr.choose(state(tput=10e6, last=4)) == 4
+
+    def test_safety_margin_lowers_choice(self):
+        abr = ThroughputAbr(ladder(), safety=0.5)
+        assert abr.choose(state(tput=1.5e6, last=2)) == 1
+
+    def test_upswitch_limited_to_one_rung(self):
+        abr = ThroughputAbr(ladder(), safety=1.0)
+        assert abr.choose(state(tput=10e6, last=0)) == 1
+
+    def test_downswitch_is_immediate(self):
+        abr = ThroughputAbr(ladder(), safety=1.0)
+        assert abr.choose(state(tput=4e5, last=4)) == 0
+
+
+class TestBufferBasedAbr:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            BufferBasedAbr(ladder(), reservoir_s=10.0, cushion_s=5.0)
+
+    def test_reservoir_forces_lowest(self):
+        abr = BufferBasedAbr(ladder(), reservoir_s=10.0, cushion_s=50.0,
+                             throughput_cap_safety=None)
+        assert abr.choose(state(buffer_s=5.0)) == 0
+
+    def test_cushion_allows_highest(self):
+        abr = BufferBasedAbr(ladder(), reservoir_s=10.0, cushion_s=50.0,
+                             throughput_cap_safety=None)
+        assert abr.choose(state(buffer_s=60.0)) == 4
+
+    def test_quality_monotone_in_buffer(self):
+        abr = BufferBasedAbr(ladder(), reservoir_s=10.0, cushion_s=50.0,
+                             throughput_cap_safety=None)
+        picks = [abr.choose(state(buffer_s=b)) for b in range(0, 70, 5)]
+        assert picks == sorted(picks)
+
+    def test_throughput_cap_limits_quality(self):
+        abr = BufferBasedAbr(ladder(), reservoir_s=10.0, cushion_s=50.0,
+                             throughput_cap_safety=1.0)
+        # Deep buffer but slow network: capped at sustainable + 1.
+        assert abr.choose(state(buffer_s=60.0, tput=7e5)) == 2
+
+    @given(buffer_s=st.floats(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_choice_always_valid(self, buffer_s):
+        abr = BufferBasedAbr(ladder(), reservoir_s=8.0, cushion_s=60.0)
+        choice = abr.choose(state(buffer_s=buffer_s, tput=2e6))
+        assert 0 <= choice < len(ladder())
+
+
+class TestHybridAbr:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            HybridAbr(ladder(), low_buffer_s=20.0, high_buffer_s=10.0)
+
+    def test_startup_uses_throughput(self):
+        abr = HybridAbr(ladder(), start_safety=1.0)
+        assert abr.choose(state(tput=3.5e6, last=None)) == 3
+        assert abr.choose(state(tput=None, last=None)) == 0
+
+    def test_sticky_in_comfort_zone(self):
+        abr = HybridAbr(ladder(), low_buffer_s=6.0, high_buffer_s=25.0)
+        # Buffer between thresholds: hold quality even if network dips.
+        assert abr.choose(state(buffer_s=15.0, tput=4e5, last=3)) == 3
+
+    def test_downswitch_only_when_buffer_low(self):
+        abr = HybridAbr(ladder(), low_buffer_s=6.0, high_buffer_s=25.0,
+                        start_safety=1.0)
+        # One rung at a time, regardless of how slow the network is.
+        assert abr.choose(state(buffer_s=3.0, tput=4e5, last=3)) == 2
+        assert abr.choose(state(buffer_s=3.0, tput=4e5, last=1)) == 0
+        assert abr.choose(state(buffer_s=3.0, tput=4e5, last=0)) == 0
+
+    def test_downswitch_even_when_sustainable(self):
+        abr = HybridAbr(ladder(), low_buffer_s=6.0, high_buffer_s=25.0,
+                        start_safety=1.0)
+        # Buffer low: steps down even if throughput sustains current.
+        assert abr.choose(state(buffer_s=3.0, tput=3.5e6, last=3)) == 2
+
+    def test_start_floor_raises_startup_quality(self):
+        abr = HybridAbr(ladder(), start_floor=2, start_safety=1.0)
+        assert abr.choose(state(tput=4e5, last=None)) == 2
+        assert abr.choose(state(tput=None, last=None)) == 2
+        assert abr.choose(state(tput=10e6, last=None)) == 4
+
+    def test_start_floor_validation(self):
+        with pytest.raises(ValueError):
+            HybridAbr(ladder(), start_floor=5)
+
+    def test_upswitch_needs_buffer_and_throughput(self):
+        abr = HybridAbr(ladder(), low_buffer_s=6.0, high_buffer_s=25.0,
+                        up_safety=1.0)
+        assert abr.choose(state(buffer_s=30.0, tput=4e6, last=2)) == 3
+        # Buffer high but throughput too low for the next rung: hold.
+        assert abr.choose(state(buffer_s=30.0, tput=2e6, last=2)) == 2
+
+    def test_top_quality_holds(self):
+        abr = HybridAbr(ladder())
+        assert abr.choose(state(buffer_s=50.0, tput=50e6, last=4)) == 4
+
+
+class TestBolaAbr:
+    def test_parameter_validation(self):
+        from repro.has.abr import BolaAbr
+
+        with pytest.raises(ValueError):
+            BolaAbr(ladder(), segment_duration_s=0.0)
+        with pytest.raises(ValueError):
+            BolaAbr(ladder(), segment_duration_s=4.0, target_buffer_s=5.0,
+                    min_buffer_s=10.0)
+
+    def test_quality_monotone_in_buffer(self):
+        from repro.has.abr import BolaAbr
+
+        bola = BolaAbr(ladder(), segment_duration_s=4.0, target_buffer_s=60.0)
+        picks = [
+            bola.choose(state(buffer_s=float(b))) for b in range(0, 70, 5)
+        ]
+        assert picks == sorted(picks)
+
+    def test_empty_buffer_lowest_quality(self):
+        from repro.has.abr import BolaAbr
+
+        bola = BolaAbr(ladder(), segment_duration_s=4.0)
+        assert bola.choose(state(buffer_s=0.0)) == 0
+
+    def test_target_buffer_reaches_top(self):
+        from repro.has.abr import BolaAbr
+
+        bola = BolaAbr(ladder(), segment_duration_s=4.0, target_buffer_s=60.0)
+        assert bola.choose(state(buffer_s=60.0)) == len(ladder()) - 1
+
+    def test_ignores_throughput_estimate(self):
+        """BOLA-basic is purely buffer-driven."""
+        from repro.has.abr import BolaAbr
+
+        bola = BolaAbr(ladder(), segment_duration_s=4.0)
+        a = bola.choose(state(buffer_s=30.0, tput=1e5))
+        b = bola.choose(state(buffer_s=30.0, tput=1e9))
+        assert a == b

@@ -1,0 +1,158 @@
+"""Tests for repro.has.buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.has.buffer import PlaybackSchedule, PlayEvent, Stall
+
+
+class TestRecords:
+    def test_play_event_validation(self):
+        with pytest.raises(ValueError):
+            PlayEvent(start=2.0, end=1.0, quality=0)
+        with pytest.raises(ValueError):
+            PlayEvent(start=0.0, end=1.0, quality=-1)
+
+    def test_stall_validation(self):
+        with pytest.raises(ValueError):
+            Stall(start=2.0, end=1.0)
+
+    def test_durations(self):
+        assert PlayEvent(1.0, 5.0, 0).duration == 4.0
+        assert Stall(1.0, 2.5).duration == 1.5
+
+
+class TestPlaybackSchedule:
+    def test_rejects_negative_startup(self):
+        with pytest.raises(ValueError):
+            PlaybackSchedule(startup_buffer_s=-1.0)
+
+    def test_playback_waits_for_startup_buffer(self):
+        s = PlaybackSchedule(startup_buffer_s=8.0)
+        s.segment_arrived(1.0, 4.0, 0)
+        assert not s.started
+        s.segment_arrived(2.0, 4.0, 0)
+        assert s.started
+        assert s.startup_delay == 2.0
+        assert s.events[0].start == 2.0
+
+    def test_pending_segments_play_back_to_back(self):
+        s = PlaybackSchedule(startup_buffer_s=8.0)
+        s.segment_arrived(1.0, 4.0, 0)
+        s.segment_arrived(2.0, 4.0, 1)
+        assert s.events[0].end == s.events[1].start
+        assert [e.quality for e in s.events] == [0, 1]
+
+    def test_no_stall_when_downloads_keep_up(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        t = 0.0
+        for i in range(5):
+            t += 2.0  # download faster than playback
+            s.segment_arrived(t, 4.0, 0)
+        assert s.stalls == []
+
+    def test_stall_opens_when_buffer_starves(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        s.segment_arrived(1.0, 4.0, 0)  # plays 1.0 - 5.0
+        s.segment_arrived(7.0, 4.0, 0)  # 2 s stall
+        assert len(s.stalls) == 1
+        assert s.stalls[0] == Stall(start=5.0, end=7.0)
+        assert s.stall_time == pytest.approx(2.0)
+
+    def test_segments_must_arrive_in_order(self):
+        s = PlaybackSchedule(startup_buffer_s=0.0)
+        s.segment_arrived(5.0, 4.0, 0)
+        with pytest.raises(ValueError):
+            s.segment_arrived(4.0, 4.0, 0)
+
+    def test_rejects_nonpositive_duration(self):
+        s = PlaybackSchedule(startup_buffer_s=0.0)
+        with pytest.raises(ValueError):
+            s.segment_arrived(1.0, 0.0, 0)
+
+    def test_buffer_level_before_start(self):
+        s = PlaybackSchedule(startup_buffer_s=100.0)
+        s.segment_arrived(1.0, 4.0, 0)
+        assert s.buffer_level(2.0) == 4.0
+
+    def test_buffer_level_drains_while_playing(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        s.segment_arrived(1.0, 4.0, 0)
+        assert s.buffer_level(1.0) == pytest.approx(4.0)
+        assert s.buffer_level(3.0) == pytest.approx(2.0)
+        assert s.buffer_level(10.0) == 0.0
+
+    def test_finish_starts_pending_playback(self):
+        s = PlaybackSchedule(startup_buffer_s=100.0)
+        s.segment_arrived(1.0, 4.0, 2)
+        s.finish(3.0)
+        assert s.started
+        assert s.play_time == pytest.approx(2.0)  # clipped at t=3
+
+    def test_finish_clips_events_and_stalls(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        s.segment_arrived(1.0, 4.0, 0)
+        s.segment_arrived(8.0, 4.0, 1)
+        s.finish(9.0)
+        assert s.play_time == pytest.approx(4.0 + 1.0)
+        assert s.stall_time == pytest.approx(3.0)
+
+    def test_finish_on_empty_schedule(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        s.finish(10.0)
+        assert s.events == [] and s.stalls == []
+        assert s.play_time == 0.0
+
+
+class TestPerSecondLog:
+    def test_log_reflects_quality_and_stalls(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        s.segment_arrived(1.0, 4.0, 2)  # plays 1-5 at q2
+        s.segment_arrived(7.0, 4.0, 1)  # stall 5-7, plays 7-11 at q1
+        log = s.per_second_quality()
+        assert log[2] == 2
+        assert log[5] == -1 or log[6] == -1
+        assert log[8] == 1
+        assert log[0] == -2  # startup second
+
+    def test_log_horizon_padding(self):
+        s = PlaybackSchedule(startup_buffer_s=0.0)
+        s.segment_arrived(0.0, 2.0, 0)
+        log = s.per_second_quality(horizon=10.0)
+        assert len(log) == 10
+        assert log[-1] == -2
+
+    def test_log_play_seconds_close_to_play_time(self):
+        s = PlaybackSchedule(startup_buffer_s=4.0)
+        t = 0.0
+        for i in range(10):
+            t += 4.0
+            s.segment_arrived(t, 4.0, i % 3)
+        log = s.per_second_quality()
+        playing = int((log >= 0).sum())
+        assert playing == pytest.approx(s.play_time, abs=2)
+
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_under_random_arrivals(self, arrivals):
+        s = PlaybackSchedule(startup_buffer_s=6.0)
+        t = 0.0
+        for gap in arrivals:
+            t += gap
+            s.segment_arrived(t, 3.0, 0)
+        s.finish(t + 5.0)
+        # Events are non-overlapping and ordered.
+        for a, b in zip(s.events, s.events[1:]):
+            assert a.end <= b.start + 1e-9
+        # Stalls never overlap events.
+        for stall in s.stalls:
+            for event in s.events:
+                assert stall.end <= event.start + 1e-9 or stall.start >= event.end - 1e-9
+        # Total accounted time fits the session span.
+        assert s.play_time + s.stall_time <= t + 5.0 + 1e-6

@@ -1,0 +1,128 @@
+"""Edge-case tests across the ML stack."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.model_selection import clone, cross_validate
+from repro.ml.svm import LinearSVC
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class TestSingleClassTraining:
+    """Corpora can be degenerate (e.g. every session high QoE)."""
+
+    X = np.arange(20, dtype=float).reshape(-1, 2)
+    y = np.zeros(10, dtype=int)
+
+    def test_tree_predicts_the_class(self):
+        tree = DecisionTreeClassifier().fit(self.X, self.y)
+        assert (tree.predict(self.X) == 0).all()
+
+    def test_forest_predicts_the_class(self):
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(
+            self.X, self.y
+        )
+        assert (forest.predict(self.X) == 0).all()
+
+    def test_boosting_predicts_the_class(self):
+        model = GradientBoostingClassifier(n_estimators=3, random_state=0).fit(
+            self.X, self.y
+        )
+        assert (model.predict(self.X) == 0).all()
+
+    def test_knn_predicts_the_class(self):
+        model = KNeighborsClassifier(n_neighbors=3).fit(self.X, self.y)
+        assert (model.predict(self.X) == 0).all()
+
+
+class TestConstantFeatures:
+    """All-constant features must not crash anything."""
+
+    def make(self, seed=0):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 60)
+        X = np.column_stack([np.ones(60), y + rng.normal(0, 0.3, 60), np.zeros(60)])
+        return X, y
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            DecisionTreeClassifier(max_depth=3, random_state=0),
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            GradientBoostingClassifier(n_estimators=3, random_state=0),
+            KNeighborsClassifier(n_neighbors=3),
+            MLPClassifier(max_epochs=10, random_state=0),
+            LinearSVC(max_epochs=5, random_state=0),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_fit_predict(self, model):
+        X, y = self.make()
+        fitted = clone(model).fit(X, y)
+        pred = fitted.predict(X)
+        assert pred.shape == y.shape
+        assert (fitted.predict(X) == y).mean() > 0.7
+
+
+class TestExtremeScales:
+    """The paper's features span bytes (1e7) to ratios (1e-2)."""
+
+    def make(self, seed=1):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, 120)
+        X = np.column_stack(
+            [
+                (y + rng.normal(0, 0.3, 120)) * 1e9,
+                (y + rng.normal(0, 0.3, 120)) * 1e-6,
+            ]
+        )
+        return X, y
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            DecisionTreeClassifier(max_depth=4, random_state=0),
+            KNeighborsClassifier(n_neighbors=3),
+            MLPClassifier(max_epochs=30, random_state=0),
+            LinearSVC(max_epochs=10, random_state=0),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_learns_despite_scale(self, model):
+        X, y = self.make()
+        fitted = clone(model).fit(X, y)
+        assert (fitted.predict(X) == y).mean() > 0.85
+
+
+class TestDuplicateRows:
+    def test_tree_handles_identical_rows_with_mixed_labels(self):
+        X = np.ones((10, 3))
+        y = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba[:, 0], 0.5)
+
+    def test_regressor_identical_rows(self):
+        X = np.ones((6, 2))
+        y = np.array([1.0, 2.0, 3.0, 1.0, 2.0, 3.0])
+        tree = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), 2.0)
+
+
+class TestCrossValidationWithModels:
+    def test_cv_works_for_every_family(self):
+        rng = np.random.default_rng(4)
+        y = rng.integers(0, 3, 150)
+        X = np.column_stack([y + rng.normal(0, 0.4, 150), rng.normal(size=150)])
+        for model in (
+            RandomForestClassifier(n_estimators=5, random_state=0),
+            GradientBoostingClassifier(n_estimators=5, random_state=0),
+            KNeighborsClassifier(n_neighbors=3),
+            LinearSVC(max_epochs=5, random_state=0),
+        ):
+            report = cross_validate(model, X, y, n_splits=3)
+            assert report.accuracy > 0.5

@@ -1,0 +1,67 @@
+"""Tests for repro.ml.importance."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import permutation_importance
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def signal_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    X = np.column_stack(
+        [
+            y + rng.normal(0, 0.2, n),  # strong signal
+            rng.normal(size=n),  # noise
+            0.3 * y + rng.normal(0, 1.0, n),  # weak signal
+        ]
+    )
+    return X, y
+
+
+class TestPermutationImportance:
+    def test_identifies_informative_feature(self):
+        X, y = signal_data()
+        model = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        importances = permutation_importance(model, X, y, n_repeats=3)
+        assert importances[0] > importances[1]
+        assert importances[0] > 0.1
+
+    def test_noise_feature_near_zero(self):
+        X, y = signal_data()
+        model = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        importances = permutation_importance(model, X, y, n_repeats=5)
+        assert abs(importances[1]) < 0.1
+
+    def test_input_unchanged(self):
+        X, y = signal_data(n=100)
+        before = X.copy()
+        model = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        permutation_importance(model, X, y, n_repeats=2)
+        np.testing.assert_array_equal(X, before)
+
+    def test_deterministic(self):
+        X, y = signal_data(n=150)
+        model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        a = permutation_importance(model, X, y, random_state=7)
+        b = permutation_importance(model, X, y, random_state=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        X, y = signal_data(n=50)
+        model = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X[:, 0], y)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y[:-1])
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+
+    def test_agrees_with_gini_on_ranking(self):
+        """Both importance flavours must rank the strong signal first."""
+        X, y = signal_data()
+        model = RandomForestClassifier(n_estimators=25, random_state=0).fit(X, y)
+        perm = permutation_importance(model, X, y, n_repeats=3)
+        assert np.argmax(perm) == np.argmax(model.feature_importances_) == 0

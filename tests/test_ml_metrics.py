@@ -1,0 +1,131 @@
+"""Tests for repro.ml.metrics and repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    evaluate_predictions,
+    precision_score,
+    recall_score,
+)
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 2])
+        assert accuracy_score(y, y) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score(np.array([0, 1, 2, 2]), np.array([0, 1, 0, 0])) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        cm = confusion_matrix(y_true, y_pred, n_classes=3)
+        expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_trace_equals_correct(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.trace() == (y_true == y_pred).sum()
+        assert cm.sum() == 100
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 3]), np.array([0, 0]), n_classes=3)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, -1]), np.array([0, 0]))
+
+
+class TestPrecisionRecall:
+    def test_recall(self):
+        y_true = np.array([0, 0, 0, 1, 2])
+        y_pred = np.array([0, 0, 1, 1, 2])
+        assert recall_score(y_true, y_pred, positive=0) == pytest.approx(2 / 3)
+
+    def test_precision(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 0, 0, 1, 2])
+        assert precision_score(y_true, y_pred, positive=0) == pytest.approx(2 / 3)
+
+    def test_absent_class_gives_nan(self):
+        y_true = np.array([1, 1])
+        y_pred = np.array([1, 1])
+        assert np.isnan(recall_score(y_true, y_pred, positive=0))
+        assert np.isnan(precision_score(y_true, y_pred, positive=0))
+
+    @given(
+        n=st.integers(5, 60),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_consistency_with_confusion_matrix(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 3, n)
+        y_pred = rng.integers(0, 3, n)
+        cm = confusion_matrix(y_true, y_pred, n_classes=3)
+        if cm[0].sum() > 0:
+            assert recall_score(y_true, y_pred, 0) == pytest.approx(
+                cm[0, 0] / cm[0].sum()
+            )
+        if cm[:, 0].sum() > 0:
+            assert precision_score(y_true, y_pred, 0) == pytest.approx(
+                cm[0, 0] / cm[:, 0].sum()
+            )
+
+
+class TestEvalReport:
+    def test_fields_and_rows(self):
+        y_true = np.array([0, 0, 1, 2, 2])
+        y_pred = np.array([0, 1, 1, 2, 2])
+        report = evaluate_predictions(y_true, y_pred)
+        assert report.accuracy == pytest.approx(0.8)
+        assert report.recall == pytest.approx(0.5)
+        assert report.precision == pytest.approx(1.0)
+        rows = report.confusion_row_percent()
+        assert rows[0, 0] == pytest.approx(50.0)
+        np.testing.assert_allclose(rows.sum(axis=1), [100.0, 100.0, 100.0])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_unharmed(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 4)))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.ones(5))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))

@@ -1,0 +1,173 @@
+"""Tests for k-NN, gradient boosting, MLP, and linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.svm import LinearSVC
+
+
+def blobs(n=300, seed=0, separation=5.0, k=3, d=4, center_seed=2):
+    centers = np.random.default_rng(center_seed).normal(size=(k, d)) * separation
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, k, n)
+    X = centers[y] + rng.normal(size=(n, d))
+    return X, y
+
+
+ALL_MODELS = [
+    KNeighborsClassifier(n_neighbors=5),
+    GradientBoostingClassifier(n_estimators=25, max_depth=3, random_state=0),
+    MLPClassifier(max_epochs=60, random_state=0),
+    LinearSVC(max_epochs=25, random_state=0),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+class TestCommonBehaviour:
+    def test_learns_separable_blobs(self, model):
+        import copy
+
+        X, y = blobs(seed=1)
+        Xt, yt = blobs(seed=2)
+        fitted = copy.deepcopy(model).fit(X, y)
+        assert (fitted.predict(Xt) == yt).mean() > 0.9
+
+    def test_predict_proba_valid(self, model):
+        import copy
+
+        X, y = blobs(seed=3)
+        fitted = copy.deepcopy(model).fit(X, y)
+        proba = fitted.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+        assert (proba >= 0).all()
+
+    def test_shape_validation(self, model):
+        import copy
+
+        m = copy.deepcopy(model)
+        with pytest.raises(ValueError):
+            m.fit(np.ones(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            m.fit(np.ones((5, 2)), np.zeros(4, dtype=int))
+
+    def test_unfitted_predict_raises(self, model):
+        import copy
+
+        with pytest.raises(RuntimeError):
+            copy.deepcopy(model).predict(np.ones((2, 2)))
+
+    def test_nonconsecutive_labels(self, model):
+        import copy
+
+        X, y = blobs(seed=4, k=2)
+        y = np.where(y == 0, 3, 7)
+        fitted = copy.deepcopy(model).fit(X, y)
+        assert set(np.unique(fitted.predict(X))) <= {3, 7}
+
+
+class TestKNN:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=5).fit(
+                np.ones((3, 2)), np.zeros(3, dtype=int)
+            )
+
+    def test_one_neighbor_memorizes(self):
+        X, y = blobs(seed=0)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert (knn.predict(X) == y).mean() == 1.0
+
+    def test_scaling_matters_for_mixed_units(self):
+        """Without internal scaling a huge-unit feature drowns the rest."""
+        rng = np.random.default_rng(0)
+        n = 300
+        y = rng.integers(0, 2, n)
+        X = np.column_stack([y * 1.0 + rng.normal(0, 0.2, n), rng.normal(0, 1e9, n)])
+        scaled = KNeighborsClassifier(n_neighbors=5, scale=True).fit(X, y)
+        raw = KNeighborsClassifier(n_neighbors=5, scale=False).fit(X, y)
+        Xt = np.column_stack(
+            [y * 1.0 + rng.normal(0, 0.2, n), rng.normal(0, 1e9, n)]
+        )
+        assert (scaled.predict(Xt) == y).mean() > (raw.predict(Xt) == y).mean()
+
+
+class TestGradientBoosting:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_more_rounds_fit_better(self):
+        X, y = blobs(n=400, seed=5, separation=2.0)
+        weak = GradientBoostingClassifier(n_estimators=3, random_state=0).fit(X, y)
+        strong = GradientBoostingClassifier(n_estimators=40, random_state=0).fit(X, y)
+        assert (strong.predict(X) == y).mean() >= (weak.predict(X) == y).mean()
+
+    def test_subsampling_still_learns(self):
+        X, y = blobs(n=400, seed=6)
+        model = GradientBoostingClassifier(
+            n_estimators=25, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_feature_importances(self):
+        rng = np.random.default_rng(1)
+        n = 300
+        y = rng.integers(0, 2, n)
+        X = np.column_stack([y + rng.normal(0, 0.2, n), rng.normal(size=n)])
+        model = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        imp = model.feature_importances_
+        assert imp[0] > imp[1]
+
+
+class TestMLP:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=())
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,))
+        with pytest.raises(ValueError):
+            MLPClassifier(max_epochs=0)
+
+    def test_learns_xor(self):
+        """A nonlinear problem a linear model cannot solve."""
+        rng = np.random.default_rng(0)
+        n = 600
+        X = rng.uniform(-1, 1, size=(n, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(32,), max_epochs=150, random_state=0
+        ).fit(X, y)
+        assert (mlp.predict(X) == y).mean() > 0.9
+
+
+class TestLinearSVC:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVC(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVC(max_epochs=0)
+
+    def test_decision_function_shape(self):
+        X, y = blobs(seed=7)
+        svm = LinearSVC(max_epochs=10, random_state=0).fit(X, y)
+        assert svm.decision_function(X[:11]).shape == (11, 3)
+
+    def test_linear_boundary_recovered(self):
+        rng = np.random.default_rng(2)
+        n = 500
+        X = rng.normal(size=(n, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        svm = LinearSVC(max_epochs=30, random_state=0).fit(X, y)
+        assert (svm.predict(X) == y).mean() > 0.95

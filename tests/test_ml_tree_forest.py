@@ -1,0 +1,206 @@
+"""Tests for repro.ml.tree and repro.ml.forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def blobs(n=300, seed=0, separation=4.0):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0, 0], [separation, 0], [0, separation]], dtype=float)
+    y = rng.integers(0, 3, n)
+    X = centers[y] + rng.normal(size=(n, 2))
+    return X, y
+
+
+class TestDecisionTreeClassifier:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_fits_separable_data_perfectly(self):
+        X, y = blobs(separation=10.0)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).mean() == 1.0
+
+    def test_generalizes_on_blobs(self):
+        X, y = blobs(n=400, seed=1)
+        Xt, yt = blobs(n=200, seed=2)
+        tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(X, y)
+        assert (tree.predict(Xt) == yt).mean() > 0.85
+
+    def test_max_depth_limits_depth(self):
+        X, y = blobs(n=400)
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X, y = blobs(n=100)
+        tree = DecisionTreeClassifier(min_samples_leaf=10, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (100, 3)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_nodes == 1
+
+    def test_predict_proba_sums_to_one(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        np.testing.assert_allclose(tree.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = blobs()
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_ranked_highest(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        y = rng.integers(0, 2, n)
+        X = np.column_stack([y + rng.normal(0, 0.1, n), rng.normal(size=n)])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert tree.feature_importances_[0] > tree.feature_importances_[1]
+
+    def test_nonconsecutive_labels(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([5, 5, 9, 9])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) == {5, 9}
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones(5), np.ones(5, dtype=int))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.ones((5, 2)), np.ones(4, dtype=int))
+        tree = DecisionTreeClassifier().fit(np.ones((5, 2)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            tree.predict(np.ones((3, 3)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+    def test_adjacent_float_values_cannot_empty_a_child(self):
+        """Regression: the midpoint of two adjacent floats rounds up to
+        the higher one, which used to leave an empty right child and
+        NaN leaf probabilities."""
+        a = 1.0
+        b = np.nextafter(a, 2.0)
+        X = np.array([[a], [b], [a], [b]])
+        y = np.array([0, 1, 0, 1])
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.isfinite(proba).all()
+        assert (tree.predict(X) == y).all()
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_at_least_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 4))
+        y = rng.integers(0, 3, 60)
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        majority = np.bincount(y).max() / 60
+        assert (tree.predict(X) == y).mean() >= majority - 1e-9
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 3.0
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y, atol=1e-9)
+
+    def test_reduces_mse_with_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(300, 1))
+        y = np.sin(4 * X[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        mse = lambda t: float(np.mean((t.predict(X) - y) ** 2))
+        assert mse(deep) < mse(shallow)
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        tree = DecisionTreeRegressor().fit(X, np.full(20, 7.0))
+        assert tree.n_nodes == 1
+        np.testing.assert_allclose(tree.predict(X), 7.0)
+
+
+class TestRandomForestClassifier:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_beats_or_matches_single_tree_on_noisy_data(self):
+        rng = np.random.default_rng(3)
+        n = 500
+        X = rng.normal(size=(n, 10))
+        y = (X[:, 0] + X[:, 1] * X[:, 2] + rng.normal(0, 0.8, n) > 0).astype(int)
+        Xt = rng.normal(size=(300, 10))
+        yt = (Xt[:, 0] + Xt[:, 1] * Xt[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        forest = RandomForestClassifier(n_estimators=30, random_state=0).fit(X, y)
+        acc_tree = (tree.predict(Xt) == yt).mean()
+        acc_forest = (forest.predict(Xt) == yt).mean()
+        assert acc_forest >= acc_tree - 0.02
+
+    def test_predict_proba_shape_and_sum(self):
+        X, y = blobs()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (300, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_identify_signal(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        y = rng.integers(0, 2, n)
+        X = np.column_stack(
+            [rng.normal(size=n), y + rng.normal(0, 0.2, n), rng.normal(size=n)]
+        )
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert np.argmax(forest.feature_importances_) == 1
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_oob_score_reasonable(self):
+        X, y = blobs(n=400, separation=6.0)
+        forest = RandomForestClassifier(
+            n_estimators=25, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert forest.oob_score_ is not None
+        assert forest.oob_score_ > 0.9
+
+    def test_determinism(self):
+        X, y = blobs()
+        f1 = RandomForestClassifier(n_estimators=8, random_state=5).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=8, random_state=5).fit(X, y)
+        np.testing.assert_array_equal(f1.predict(X), f2.predict(X))
+        np.testing.assert_allclose(
+            f1.feature_importances_, f2.feature_importances_
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.ones((2, 2)))
+
+    def test_subset_of_classes_in_bootstrap(self):
+        """Trees seeing only some classes must still align probabilities."""
+        X = np.array([[0.0], [0.1], [10.0], [10.1], [20.0]])
+        y = np.array([0, 0, 1, 1, 2])
+        forest = RandomForestClassifier(n_estimators=30, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (5, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,193 @@
+"""Tests for repro.net.link and repro.net.tcp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.bandwidth import BandwidthTrace, TraceFamily, lte_trace
+from repro.net.link import Link
+from repro.net.tcp import TcpConnection, TcpParams
+
+
+def flat_link(bps=8e6, duration=3600.0, efficiency=1.0):
+    trace = BandwidthTrace(
+        times=np.array([0.0]),
+        bandwidth_bps=np.array([bps]),
+        duration=duration,
+        family=TraceFamily.FCC,
+    )
+    return Link(trace=trace, efficiency=efficiency)
+
+
+class TestLink:
+    def test_rejects_bad_efficiency(self):
+        trace = BandwidthTrace(
+            times=np.array([0.0]),
+            bandwidth_bps=np.array([1e6]),
+            duration=10.0,
+            family=TraceFamily.FCC,
+        )
+        with pytest.raises(ValueError):
+            Link(trace=trace, efficiency=0.0)
+        with pytest.raises(ValueError):
+            Link(trace=trace, efficiency=1.5)
+
+    def test_delivery_time_flat(self):
+        link = flat_link(bps=8e6)  # 1 MB/s payload
+        assert link.delivery_time(0.0, 1_000_000) == pytest.approx(1.0)
+
+    def test_delivery_time_zero_bytes(self):
+        assert flat_link().delivery_time(5.0, 0) == 0.0
+
+    def test_delivery_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            flat_link().delivery_time(0.0, -1)
+
+    def test_efficiency_slows_delivery(self):
+        fast = flat_link(efficiency=1.0)
+        slow = flat_link(efficiency=0.5)
+        assert slow.delivery_time(0.0, 1e6) == pytest.approx(
+            2 * fast.delivery_time(0.0, 1e6)
+        )
+
+    def test_deliverable_bytes_matches_rate(self):
+        link = flat_link(bps=8e6, efficiency=1.0)
+        assert link.deliverable_bytes(0.0, 2.0) == pytest.approx(2e6)
+
+    def test_payload_rate_at(self):
+        link = flat_link(bps=8e6, efficiency=0.5)
+        assert link.payload_rate_at(0.0) == pytest.approx(0.5e6)
+
+
+class TestTcpParams:
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            TcpParams(rtt_s=0.0)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            TcpParams(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            TcpParams(loss_rate=-0.1)
+
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ValueError):
+            TcpParams(mss_bytes=0)
+
+    def test_rejects_negative_tls_rtts(self):
+        with pytest.raises(ValueError):
+            TcpParams(tls_handshake_rtts=-1.0)
+
+
+class TestTcpConnection:
+    def make_conn(self, bps=80e6, rtt=0.05, loss=0.0, opened_at=0.0):
+        params = TcpParams(rtt_s=rtt, loss_rate=loss)
+        return TcpConnection(
+            flat_link(bps=bps), params, opened_at, np.random.default_rng(0)
+        )
+
+    def test_handshake_delays_first_transfer(self):
+        conn = self.make_conn(rtt=0.1)
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=1000)
+        # TCP (1 RTT) + TLS 1.3 (1 RTT) + request RTT.
+        assert t.response_start >= 0.3 - 1e-9
+
+    def test_transfers_are_ordered_on_connection(self):
+        conn = self.make_conn()
+        t1 = conn.request(at=0.0, request_bytes=400, response_bytes=500_000)
+        t2 = conn.request(at=0.0, request_bytes=400, response_bytes=500_000)
+        assert t2.start >= t1.end
+
+    def test_large_transfer_approaches_link_rate(self):
+        conn = self.make_conn(bps=8e6, rtt=0.02)
+        nbytes = 10_000_000
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=nbytes)
+        rate = nbytes / (t.end - t.response_start)
+        assert rate == pytest.approx(1e6, rel=0.15)
+
+    def test_small_transfer_is_latency_bound(self):
+        conn = self.make_conn(bps=800e6, rtt=0.1)
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=2000)
+        # Duration dominated by RTTs, far above the ~20 us serialization.
+        assert t.duration >= 0.1
+
+    def test_slow_start_makes_short_transfers_slower_per_byte(self):
+        """The TDR-vs-throughput gap the paper's features exploit."""
+        conn = self.make_conn(bps=40e6, rtt=0.05)
+        small = conn.request(at=0.0, request_bytes=400, response_bytes=100_000)
+        conn2 = self.make_conn(bps=40e6, rtt=0.05)
+        large = conn2.request(at=0.0, request_bytes=400, response_bytes=10_000_000)
+        tdr_small = small.response_bytes / small.duration
+        tdr_large = large.response_bytes / large.duration
+        assert tdr_small < tdr_large
+
+    def test_cwnd_warmup_persists_across_transfers(self):
+        conn = self.make_conn(bps=40e6, rtt=0.05)
+        t1 = conn.request(at=0.0, request_bytes=400, response_bytes=2_000_000)
+        t2 = conn.request(at=t1.end, request_bytes=400, response_bytes=2_000_000)
+        assert t2.duration < t1.duration
+
+    def test_packet_counts_match_bytes(self):
+        conn = self.make_conn()
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=14_600)
+        assert t.n_packets_down == 10  # 14600 / 1460, no loss
+        assert t.n_retransmits == 0
+        assert t.n_packets_up >= 1
+
+    def test_loss_produces_retransmissions(self):
+        conn = self.make_conn(loss=0.05)
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=5_000_000)
+        assert t.n_retransmits > 0
+        assert t.n_packets_down > 5_000_000 // 1460
+
+    def test_retransmissions_extend_duration(self):
+        lossless = self.make_conn(loss=0.0).request(0.0, 400, 5_000_000)
+        lossy = self.make_conn(loss=0.05).request(0.0, 400, 5_000_000)
+        assert lossy.end > lossless.end
+
+    def test_request_validation(self):
+        conn = self.make_conn()
+        with pytest.raises(ValueError):
+            conn.request(at=0.0, request_bytes=0, response_bytes=10)
+        with pytest.raises(ValueError):
+            conn.request(at=0.0, request_bytes=10, response_bytes=-1)
+
+    def test_close_semantics(self):
+        conn = self.make_conn()
+        t = conn.request(at=0.0, request_bytes=400, response_bytes=1000)
+        with pytest.raises(ValueError):
+            conn.close(at=t.end - 1.0)
+        conn.close(at=t.end + 1.0)
+        assert conn.closed_at == t.end + 1.0
+        with pytest.raises(RuntimeError):
+            conn.close(at=t.end + 2.0)
+        with pytest.raises(RuntimeError):
+            conn.request(at=t.end + 3.0, request_bytes=10, response_bytes=10)
+
+    def test_byte_accounting(self):
+        conn = self.make_conn()
+        conn.request(at=0.0, request_bytes=400, response_bytes=1000)
+        conn.request(at=0.0, request_bytes=600, response_bytes=2000)
+        assert conn.bytes_up == 1000
+        assert conn.bytes_down == 3000
+
+    def test_connection_ids_are_unique(self):
+        c1 = self.make_conn()
+        c2 = self.make_conn()
+        assert c1.connection_id != c2.connection_id
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=5_000_000),
+        rtt=st.floats(min_value=0.005, max_value=0.3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_invariants(self, nbytes, rtt):
+        params = TcpParams(rtt_s=rtt, loss_rate=0.01)
+        link = Link(trace=lte_trace(np.random.default_rng(3), duration=60.0))
+        conn = TcpConnection(link, params, 0.0, np.random.default_rng(1))
+        t = conn.request(at=0.0, request_bytes=420, response_bytes=nbytes)
+        assert t.start <= t.response_start <= t.end
+        assert t.n_packets_down >= -(-nbytes // 1460)
+        assert t.n_retransmits <= t.n_packets_down
+        assert t.duration > 0

@@ -1,0 +1,131 @@
+"""Tests for repro.net.packets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.bandwidth import BandwidthTrace, TraceFamily
+from repro.net.link import Link
+from repro.net.packets import PacketTrace, synthesize_packet_trace
+from repro.net.tcp import TcpConnection, TcpParams
+
+
+def make_connection(loss=0.0, rtt=0.05, seed=0):
+    trace = BandwidthTrace(
+        times=np.array([0.0]),
+        bandwidth_bps=np.array([40e6]),
+        duration=3600.0,
+        family=TraceFamily.FCC,
+    )
+    params = TcpParams(rtt_s=rtt, loss_rate=loss)
+    return TcpConnection(Link(trace=trace), params, 0.0, np.random.default_rng(seed))
+
+
+class TestSynthesis:
+    def test_empty_inputs_give_empty_trace(self):
+        trace = synthesize_packet_trace([])
+        assert trace.n_packets == 0
+        assert trace.duration == 0.0
+
+    def test_timestamps_sorted(self):
+        conn = make_connection()
+        transfers = [conn.request(i * 0.5, 400, 300_000) for i in range(5)]
+        trace = synthesize_packet_trace(
+            transfers, [(conn.connection_id, conn.opened_at, conn.params.rtt_s)]
+        )
+        assert np.all(np.diff(trace.timestamps) >= 0)
+
+    def test_packet_counts_match_transfer_counts(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 146_000)
+        trace = synthesize_packet_trace([t])
+        data_down = (trace.directions == 1) & (trace.sizes > 66)
+        assert int(data_down.sum()) == t.n_packets_down
+
+    def test_retransmit_flags_match_transfer(self):
+        conn = make_connection(loss=0.05)
+        t = conn.request(0.0, 400, 2_000_000)
+        trace = synthesize_packet_trace([t])
+        assert int(trace.is_retransmit.sum()) == t.n_retransmits
+
+    def test_handshake_packets_present(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 1460)
+        with_hs = synthesize_packet_trace(
+            [t], [(conn.connection_id, conn.opened_at, conn.params.rtt_s)]
+        )
+        without_hs = synthesize_packet_trace([t])
+        assert with_hs.n_packets > without_hs.n_packets
+        assert with_hs.timestamps[0] == pytest.approx(conn.opened_at)
+
+    def test_downlink_bytes_cover_response(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 100_000)
+        trace = synthesize_packet_trace([t])
+        payload_down = trace.bytes_down() - 66 * int(trace.downlink.sum())
+        assert payload_down >= t.response_bytes
+
+    def test_connection_ids_propagate(self):
+        c1, c2 = make_connection(seed=1), make_connection(seed=2)
+        t1 = c1.request(0.0, 400, 1460)
+        t2 = c2.request(0.0, 400, 1460)
+        trace = synthesize_packet_trace([t1, t2])
+        assert set(np.unique(trace.connection_ids)) == {
+            c1.connection_id,
+            c2.connection_id,
+        }
+
+    def test_synthesis_is_deterministic(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 500_000)
+        tr1 = synthesize_packet_trace([t], rng=np.random.default_rng(5))
+        tr2 = synthesize_packet_trace([t], rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(tr1.timestamps, tr2.timestamps)
+        np.testing.assert_array_equal(tr1.sizes, tr2.sizes)
+
+
+class TestPacketTrace:
+    def test_validation_rejects_ragged_arrays(self):
+        with pytest.raises(ValueError):
+            PacketTrace(
+                timestamps=np.zeros(3),
+                sizes=np.zeros(2, dtype=np.int32),
+                directions=np.zeros(3, dtype=np.int8),
+                is_retransmit=np.zeros(3, dtype=bool),
+                connection_ids=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_direction_masks_partition(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 50_000)
+        trace = synthesize_packet_trace([t])
+        assert int(trace.downlink.sum()) + int(trace.uplink.sum()) == trace.n_packets
+
+    def test_retransmission_rate_zero_without_loss(self):
+        conn = make_connection(loss=0.0)
+        t = conn.request(0.0, 400, 1_000_000)
+        trace = synthesize_packet_trace([t])
+        assert trace.retransmission_rate() == 0.0
+
+    def test_retransmission_rate_tracks_loss(self):
+        conn = make_connection(loss=0.04)
+        t = conn.request(0.0, 400, 10_000_000)
+        trace = synthesize_packet_trace([t])
+        assert trace.retransmission_rate() == pytest.approx(0.04, abs=0.02)
+
+    def test_memory_records_equals_packets(self):
+        conn = make_connection()
+        t = conn.request(0.0, 400, 14_600)
+        trace = synthesize_packet_trace([t])
+        assert trace.memory_records() == trace.n_packets
+
+    @given(nbytes=st.integers(min_value=1, max_value=2_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_all_packets_within_transfer_span(self, nbytes):
+        conn = make_connection(seed=3)
+        t = conn.request(0.0, 400, nbytes)
+        trace = synthesize_packet_trace([t])
+        assert trace.timestamps.min() >= t.start - 1e-9
+        # ACKs may trail the last data packet by up to RTT/2.
+        assert trace.timestamps.max() <= t.end + conn.params.rtt_s

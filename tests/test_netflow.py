@@ -1,0 +1,110 @@
+"""Tests for repro.netflow (exporter + features)."""
+
+import numpy as np
+import pytest
+
+from repro.collection.harness import collect_corpus
+from repro.netflow.exporter import ExporterConfig, FlowRecord, export_flows
+from repro.netflow.features import (
+    FLOW_FEATURE_NAMES,
+    extract_flow_features,
+    extract_flow_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return collect_corpus("svc2", 12, seed=8)
+
+
+class TestFlowRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowRecord(0, 2.0, 1.0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            FlowRecord(0, 0.0, 1.0, -1, 0, 0, 0)
+
+    def test_duration(self):
+        assert FlowRecord(0, 1.0, 3.5, 1, 1, 1, 1).duration == 2.5
+
+
+class TestExporterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExporterConfig(active_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ExporterConfig(idle_timeout_s=-1.0)
+
+
+class TestExportFlows:
+    def test_nonempty_sessions_export_flows(self, corpus):
+        for record in corpus:
+            flows = export_flows(record)
+            assert flows
+            starts = [f.start for f in flows]
+            assert starts == sorted(starts)
+
+    def test_byte_conservation(self, corpus):
+        """Exported counters must account for all transferred bytes."""
+        record = corpus[0]
+        flows = export_flows(record)
+        total_down = sum(f.bytes_down for f in flows)
+        total_up = sum(f.bytes_up for f in flows)
+        expected_down = record.transfers[:, 5].sum()
+        expected_up = record.transfers[:, 4].sum()
+        assert total_down == pytest.approx(expected_down, rel=0.01)
+        assert total_up == pytest.approx(expected_up, rel=0.01)
+
+    def test_active_timeout_slices_long_flows(self, corpus):
+        record = corpus[0]
+        coarse = export_flows(record, ExporterConfig(active_timeout_s=3600.0))
+        fine = export_flows(record, ExporterConfig(active_timeout_s=20.0))
+        assert len(fine) >= len(coarse)
+        assert all(f.duration <= 20.0 + 1e-6 for f in fine)
+
+    def test_idle_timeout_splits_gappy_flows(self, corpus):
+        record = corpus[0]
+        patient = export_flows(record, ExporterConfig(idle_timeout_s=1e6))
+        eager = export_flows(record, ExporterConfig(idle_timeout_s=1.0))
+        assert len(eager) >= len(patient)
+
+    def test_one_record_per_connection_with_huge_timeouts(self, corpus):
+        record = corpus[0]
+        flows = export_flows(
+            record, ExporterConfig(active_timeout_s=1e7, idle_timeout_s=1e7)
+        )
+        assert len(flows) == len({f.flow_id for f in flows})
+
+    def test_empty_record(self, corpus):
+        import copy
+
+        record = copy.deepcopy(corpus[0])
+        record.transfers = np.empty((0, 10))
+        assert export_flows(record) == []
+
+
+class TestFlowFeatures:
+    def test_schema(self):
+        assert len(FLOW_FEATURE_NAMES) == 41
+        assert "PKTS_PER_SEC" in FLOW_FEATURE_NAMES
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            extract_flow_features([])
+
+    def test_features_finite(self, corpus):
+        for record in corpus:
+            vector = extract_flow_features(export_flows(record))
+            assert vector.shape == (41,)
+            assert np.isfinite(vector).all()
+
+    def test_matrix(self, corpus):
+        X, names = extract_flow_matrix(corpus)
+        assert X.shape == (len(corpus), 41)
+        assert names == FLOW_FEATURE_NAMES
+
+    def test_packet_size_feature_reasonable(self, corpus):
+        X, names = extract_flow_matrix(corpus)
+        med_down = X[:, names.index("PKT_SIZE_DOWN_MED")]
+        # Downlink packets are near-MSS for video traffic.
+        assert np.median(med_down) > 500

@@ -1,0 +1,182 @@
+"""Tests for repro.sessions (boundary heuristic + workload)."""
+
+import numpy as np
+import pytest
+
+from repro.sessions.boundary import (
+    BoundaryConfig,
+    detect_session_starts,
+    evaluate_boundary_detection,
+)
+from repro.sessions.workload import back_to_back_stream
+from repro.tlsproxy.records import TlsTransaction
+
+
+def txn(start, sni, end=None):
+    return TlsTransaction(
+        start=start,
+        end=end if end is not None else start + 1.0,
+        uplink_bytes=100,
+        downlink_bytes=1000,
+        sni=sni,
+    )
+
+
+class TestBoundaryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundaryConfig(window_s=0.0)
+        with pytest.raises(ValueError):
+            BoundaryConfig(n_min=0)
+        with pytest.raises(ValueError):
+            BoundaryConfig(delta_min=1.5)
+
+    def test_paper_defaults(self):
+        config = BoundaryConfig()
+        assert config.window_s == 3.0
+        assert config.n_min == 2
+        assert config.delta_min == 0.5
+
+
+class TestDetectSessionStarts:
+    def test_empty_stream(self):
+        assert detect_session_starts([]).shape == (0,)
+
+    def test_first_transaction_is_always_new(self):
+        flags = detect_session_starts([txn(0.0, "a"), txn(100.0, "a")])
+        assert flags[0]
+        assert not flags[1]
+
+    def test_burst_of_new_servers_starts_session(self):
+        stream = [
+            txn(0.0, "www"),
+            txn(0.5, "api"),
+            txn(1.0, "edge1"),
+            txn(30.0, "edge1"),
+            # New session: burst with fresh edges.
+            txn(60.0, "www"),
+            txn(60.5, "edge7"),
+            txn(61.0, "edge8"),
+        ]
+        flags = detect_session_starts(stream)
+        assert flags[0]
+        assert flags[4]
+        assert flags.sum() == 2
+
+    def test_familiar_burst_does_not_split(self):
+        stream = [
+            txn(0.0, "www"),
+            txn(0.5, "edge1"),
+            txn(1.0, "edge2"),
+            # Mid-session burst to the same servers.
+            txn(40.0, "edge1"),
+            txn(40.5, "edge2"),
+            txn(41.0, "edge1"),
+        ]
+        flags = detect_session_starts(stream)
+        assert flags.sum() == 1
+
+    def test_sparse_new_server_does_not_split(self):
+        """A single new edge without a burst is CDN failover, not a
+        session boundary."""
+        stream = [
+            txn(0.0, "www"),
+            txn(0.5, "edge1"),
+            txn(30.0, "edge9"),
+            txn(70.0, "edge9"),
+        ]
+        flags = detect_session_starts(stream)
+        assert flags.sum() == 1
+
+    def test_unsorted_input_handled(self):
+        stream = [
+            txn(60.0, "www"),
+            txn(0.0, "www"),
+            txn(60.5, "edge7"),
+            txn(0.5, "edge1"),
+            txn(61.0, "edge8"),
+            txn(1.0, "edge2"),
+        ]
+        flags = detect_session_starts(stream)
+        # Flags align with input order: index 1 is the stream start,
+        # index 0 is the second session's first transaction.
+        assert flags[1]
+        assert flags[0]
+        assert flags.sum() == 2
+
+    def test_window_parameter_matters(self):
+        stream = [
+            txn(0.0, "www"),
+            txn(0.5, "edge1"),
+            # Slow burst: second session's transactions 5 s apart.
+            txn(60.0, "www"),
+            txn(65.0, "edge7"),
+            txn(70.0, "edge8"),
+        ]
+        narrow = detect_session_starts(stream, BoundaryConfig(window_s=3.0))
+        wide = detect_session_starts(stream, BoundaryConfig(window_s=15.0))
+        assert narrow.sum() == 1  # burst too slow for W=3
+        assert wide.sum() == 2
+
+
+class TestEvaluateBoundaryDetection:
+    def test_confusion_layout(self):
+        pred = np.array([True, False, True, False])
+        actual = np.array([True, False, False, True])
+        cm = evaluate_boundary_detection(pred, actual)
+        # Rows: actual existing/new; cols: predicted existing/new.
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 1]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_boundary_detection(np.array([True]), np.array([True, False]))
+
+
+class TestBackToBackStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            back_to_back_stream("svc1", 0)
+        with pytest.raises(ValueError):
+            back_to_back_stream("svc1", 2, browse_gap_s=-1.0)
+
+    def test_stream_structure(self):
+        stream = back_to_back_stream("svc1", 4, seed=1)
+        assert stream.n_sessions == 4
+        assert stream.is_new.sum() == 4
+        assert len(stream.session_of) == len(stream)
+        starts = [t.start for t in stream.transactions]
+        assert starts == sorted(starts)
+
+    def test_sessions_overlap_via_lingering_connections(self):
+        """The reason timeout-based splitting fails (paper §2.2)."""
+        stream = back_to_back_stream("svc1", 4, seed=2, browse_gap_s=0.0)
+        overlaps = 0
+        for sid in range(3):
+            this = [
+                t.end
+                for t, s in zip(stream.transactions, stream.session_of)
+                if s == sid
+            ]
+            nxt = [
+                t.start
+                for t, s in zip(stream.transactions, stream.session_of)
+                if s == sid + 1
+            ]
+            if this and nxt and max(this) > min(nxt):
+                overlaps += 1
+        assert overlaps >= 1
+
+    def test_heuristic_beats_chance_on_stream(self):
+        stream = back_to_back_stream("svc1", 10, seed=3)
+        pred = detect_session_starts(stream.transactions)
+        cm = evaluate_boundary_detection(pred, stream.is_new)
+        existing_correct = cm[0, 0] / cm[0].sum()
+        new_correct = cm[1, 1] / cm[1].sum()
+        assert existing_correct > 0.85
+        assert new_correct > 0.5
+
+    def test_determinism(self):
+        a = back_to_back_stream("svc2", 3, seed=5)
+        b = back_to_back_stream("svc2", 3, seed=5)
+        assert len(a) == len(b)
+        assert a.offsets == b.offsets
