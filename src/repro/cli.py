@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -39,7 +40,9 @@ __all__ = ["main", "build_parser"]
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
-    dataset = collect_corpus(args.service, args.sessions, seed=args.seed)
+    dataset = collect_corpus(
+        args.service, args.sessions, seed=args.seed, n_jobs=args.jobs
+    )
     dataset.save(args.output)
     dist = dataset.label_distribution("combined")
     print(
@@ -170,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Video-QoE estimation from coarse-grained TLS transaction data",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for collection/training/CV "
+             "(default: REPRO_JOBS or all cores; 1 = sequential; "
+             "results are identical for every value)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("collect", help="simulate and store a session corpus")
@@ -219,6 +228,10 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        # Export so every layer (corpus collection, forest fits, CV
+        # folds, experiment drivers) resolves the same worker count.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     return args.func(args)
 
 

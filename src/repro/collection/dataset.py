@@ -9,13 +9,20 @@ they are synthesized on demand from the transfer arrays by
 :func:`SessionRecord.packet_trace`.
 
 Records serialize to plain JSON (optionally gzipped) so corpora can be
-cached between experiment runs.
+cached between experiment runs.  Large numeric arrays (``transfers``,
+``http``, ``connections``) are stored as base64-encoded raw bytes
+inside the JSON envelope (format 2) — an order of magnitude faster
+than the old per-element list round-trip and exact to the bit; format-1
+corpora (nested lists) still load.
 """
 
 from __future__ import annotations
 
+import base64
 import gzip
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -33,6 +40,29 @@ __all__ = ["SessionRecord", "Dataset"]
 
 _RESOURCE_CODES = {rt: i for i, rt in enumerate(ResourceType)}
 _RESOURCE_FROM_CODE = {i: rt for rt, i in _RESOURCE_CODES.items()}
+
+#: On-disk format version written by :meth:`Dataset.save`.
+FORMAT_VERSION = 2
+
+
+def _encode_array(a: np.ndarray) -> dict:
+    """Array -> JSON-safe dict: dtype + shape + base64 raw bytes."""
+    a = np.ascontiguousarray(a)
+    return {
+        "dtype": a.dtype.str,
+        "shape": list(a.shape),
+        "b64": base64.b64encode(a.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload, dtype: np.dtype | type | str) -> np.ndarray:
+    """Inverse of :func:`_encode_array`; accepts format-1 lists too."""
+    if isinstance(payload, dict):
+        raw = base64.b64decode(payload["b64"])
+        a = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        return a.reshape(payload["shape"]).astype(dtype, copy=True)
+    return np.asarray(payload, dtype=dtype)
+
 
 #: Columns of the transfer array, in order.
 _TRANSFER_COLUMNS = (
@@ -208,9 +238,9 @@ class SessionRecord:
                 [t.start, t.end, t.uplink_bytes, t.downlink_bytes, t.sni]
                 for t in self.tls_transactions
             ],
-            "http": {k: v.tolist() for k, v in self.http.items()},
-            "transfers": self.transfers.tolist(),
-            "connections": self.connections.tolist(),
+            "http": {k: _encode_array(v) for k, v in self.http.items()},
+            "transfers": _encode_array(self.transfers),
+            "connections": _encode_array(self.connections),
             "labels": {
                 "rebuffering_ratio": self.labels.rebuffering_ratio,
                 "rebuffering": self.labels.rebuffering,
@@ -228,16 +258,14 @@ class SessionRecord:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SessionRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (accepts format 1 and 2 arrays)."""
         http = {
-            "start": np.asarray(payload["http"]["start"], dtype=np.float64),
-            "end": np.asarray(payload["http"]["end"], dtype=np.float64),
-            "request_bytes": np.asarray(payload["http"]["request_bytes"], dtype=np.int64),
-            "response_bytes": np.asarray(
-                payload["http"]["response_bytes"], dtype=np.int64
-            ),
-            "resource_code": np.asarray(payload["http"]["resource_code"], dtype=np.int8),
-            "quality": np.asarray(payload["http"]["quality"], dtype=np.int8),
+            "start": _decode_array(payload["http"]["start"], np.float64),
+            "end": _decode_array(payload["http"]["end"], np.float64),
+            "request_bytes": _decode_array(payload["http"]["request_bytes"], np.int64),
+            "response_bytes": _decode_array(payload["http"]["response_bytes"], np.int64),
+            "resource_code": _decode_array(payload["http"]["resource_code"], np.int8),
+            "quality": _decode_array(payload["http"]["quality"], np.int8),
         }
         labels = SessionLabels(
             rebuffering_ratio=payload["labels"]["rebuffering_ratio"],
@@ -259,10 +287,10 @@ class SessionRecord:
                 for row in payload["tls_transactions"]
             ],
             http=http,
-            transfers=np.asarray(payload["transfers"], dtype=np.float64).reshape(
+            transfers=_decode_array(payload["transfers"], np.float64).reshape(
                 -1, len(_TRANSFER_COLUMNS)
             ),
-            connections=np.asarray(payload["connections"], dtype=np.float64).reshape(
+            connections=_decode_array(payload["connections"], np.float64).reshape(
                 -1, 3
             ),
             labels=labels,
@@ -319,17 +347,35 @@ class Dataset:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the corpus as (gzipped, if ``.gz``) JSON."""
+        """Write the corpus as (gzipped, if ``.gz``) JSON.
+
+        The write is atomic: bytes go to a temp file in the target
+        directory which is then ``os.replace``d over ``path``, so a
+        concurrent reader (parallel benchmark/experiment runs share
+        the ``.cache/`` directory) never sees a truncated corpus.
+        """
         path = Path(path)
         payload = {
+            "format": FORMAT_VERSION,
             "service": self.service,
             "sessions": [s.to_dict() for s in self.sessions],
         }
         raw = json.dumps(payload, separators=(",", ":")).encode()
         if path.suffix == ".gz":
-            path.write_bytes(gzip.compress(raw, compresslevel=4))
-        else:
-            path.write_bytes(raw)
+            raw = gzip.compress(raw, compresslevel=4)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(raw)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "Dataset":

@@ -45,7 +45,9 @@ _CORPUS_SEEDS = {"svc1": 101, "svc2": 202, "svc3": 303}
 
 #: Bump when simulator behaviour changes so stale disk caches are
 #: ignored (the key otherwise only encodes service/size/seed).
-CACHE_VERSION = 3
+#: v4: per-session ``SeedSequence.spawn`` RNG streams (parallel
+#: collection) replaced the shared sequential generator.
+CACHE_VERSION = 4
 
 _MEMORY_CACHE: dict[tuple[str, int, int], Dataset] = {}
 
@@ -93,6 +95,9 @@ def get_corpus(
     else:
         dataset = collect_corpus(service, n_sessions, seed=seed)
         if use_disk_cache:
+            # Dataset.save writes to a temp file and os.replace()s it,
+            # so concurrent benchmark/experiment runs racing on the
+            # same key never observe a truncated corpus.
             dataset.save(path)
     _MEMORY_CACHE[key] = dataset
     return dataset

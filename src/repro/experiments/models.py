@@ -22,6 +22,7 @@ from repro.ml.knn import KNeighborsClassifier
 from repro.ml.mlp import MLPClassifier
 from repro.ml.model_selection import cross_validate
 from repro.ml.svm import LinearSVC
+from repro.parallel import parallel_map
 
 __all__ = ["run", "main", "model_zoo"]
 
@@ -40,20 +41,38 @@ def model_zoo() -> dict:
     }
 
 
-def run(dataset: Dataset | None = None, target: str = "combined") -> dict:
-    """A/R/P per model family on one service's corpus."""
+def _eval_model_task(task) -> dict:
+    """Cross-validate one model family (runs inside a pool worker)."""
+    model, X, y = task
+    report = cross_validate(model, X, y, n_splits=5)
+    return {
+        "accuracy": report.accuracy,
+        "recall": report.recall,
+        "precision": report.precision,
+    }
+
+
+def run(
+    dataset: Dataset | None = None,
+    target: str = "combined",
+    n_jobs: int | None = None,
+) -> dict:
+    """A/R/P per model family on one service's corpus.
+
+    The five families are independent, so they run through the process
+    pool (``n_jobs``; defaults to ``REPRO_JOBS``).
+    """
     dataset = dataset if dataset is not None else get_corpus("svc1")
     X, _ = extract_tls_matrix(dataset)
     y = dataset.labels(target)
-    result = {}
-    for name, model in model_zoo().items():
-        report = cross_validate(model, X, y, n_splits=5)
-        result[name] = {
-            "accuracy": report.accuracy,
-            "recall": report.recall,
-            "precision": report.precision,
-        }
-    return result
+    zoo = model_zoo()
+    reports = parallel_map(
+        _eval_model_task,
+        [(model, X, y) for model in zoo.values()],
+        n_jobs=n_jobs,
+        chunksize=1,
+    )
+    return dict(zip(zoo.keys(), reports))
 
 
 def main() -> dict:

@@ -107,6 +107,26 @@ class ServiceProfile:
         return 2
 
 
+# ABR factories are module-level named functions (not lambdas) so that
+# profiles — and variants built from them with ``dataclasses.replace``
+# — pickle cleanly into corpus-collection pool workers.
+def _svc1_abr(ladder: QualityLadder) -> AbrAlgorithm:
+    return BufferBasedAbr(
+        ladder, reservoir_s=4.0, cushion_s=35.0, throughput_cap_safety=1.2
+    )
+
+
+def _svc2_abr(ladder: QualityLadder) -> AbrAlgorithm:
+    return HybridAbr(
+        ladder, low_buffer_s=4.0, high_buffer_s=15.0, start_safety=1.1,
+        up_safety=0.85, start_floor=2,
+    )
+
+
+def _svc3_abr(ladder: QualityLadder) -> AbrAlgorithm:
+    return ThroughputAbr(ladder, safety=0.75)
+
+
 def _ladder(*levels: tuple[str, int, float]) -> QualityLadder:
     return QualityLadder(
         levels=tuple(
@@ -147,9 +167,7 @@ SVC1 = ServiceProfile(
     segment_duration_s=5.0,
     buffer_capacity_s=240.0,
     startup_buffer_s=10.0,
-    abr_factory=lambda ladder: BufferBasedAbr(
-        ladder, reservoir_s=4.0, cushion_s=35.0, throughput_cap_safety=1.2
-    ),
+    abr_factory=_svc1_abr,
     host_model=ServiceHostModel(service="svc1", n_edge_nodes=500, edges_per_session=2),
     quality_low_max_resolution=288,
     quality_medium_max_resolution=480,
@@ -170,9 +188,7 @@ SVC2 = ServiceProfile(
     segment_duration_s=4.0,
     buffer_capacity_s=60.0,
     startup_buffer_s=8.0,
-    abr_factory=lambda ladder: HybridAbr(
-        ladder, low_buffer_s=4.0, high_buffer_s=15.0, start_safety=1.1, up_safety=0.85, start_floor=2
-    ),
+    abr_factory=_svc2_abr,
     host_model=ServiceHostModel(service="svc2", n_edge_nodes=300, edges_per_session=2),
     quality_low_max_resolution=360,
     quality_medium_max_resolution=480,
@@ -193,7 +209,7 @@ SVC3 = ServiceProfile(
     segment_duration_s=6.0,
     buffer_capacity_s=90.0,
     startup_buffer_s=12.0,
-    abr_factory=lambda ladder: ThroughputAbr(ladder, safety=0.75),
+    abr_factory=_svc3_abr,
     host_model=ServiceHostModel(
         service="svc3", n_edge_nodes=200, edges_per_session=2, separate_audio_host=False
     ),

@@ -13,8 +13,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.tree import DecisionTreeRegressor
+from repro.parallel import parallel_map, resolve_jobs
 
 __all__ = ["GradientBoostingClassifier"]
+
+
+def _fit_round_tree(
+    task: tuple[np.ndarray, np.ndarray, int, int, int],
+) -> DecisionTreeRegressor:
+    """Fit one round's per-class tree (runs inside a pool worker)."""
+    X_rows, residual_c, max_depth, min_samples_leaf, seed = task
+    tree = DecisionTreeRegressor(
+        max_depth=max_depth, min_samples_leaf=min_samples_leaf, random_state=seed
+    )
+    tree.fit(X_rows, residual_c)
+    return tree
 
 
 def _softmax(scores: np.ndarray) -> np.ndarray:
@@ -38,6 +51,13 @@ class GradientBoostingClassifier:
         Fraction of rows drawn (without replacement) per round.
     random_state:
         Seed for subsampling and tree feature draws.
+    n_jobs:
+        Worker processes for the per-round class trees.  Boosting is
+        inherently sequential across rounds, so only the (few) class
+        trees of one round fit concurrently — worthwhile for large
+        corpora, overhead-bound for small ones, hence the default of
+        1 rather than the ``REPRO_JOBS`` environment default used by
+        the forest.  Results are identical for every value.
     """
 
     def __init__(
@@ -48,6 +68,7 @@ class GradientBoostingClassifier:
         subsample: float = 1.0,
         min_samples_leaf: int = 1,
         random_state: int | None = None,
+        n_jobs: int = 1,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -61,6 +82,7 @@ class GradientBoostingClassifier:
         self.subsample = subsample
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees_: list[list[DecisionTreeRegressor]] = []
         self.classes_: np.ndarray | None = None
         self._base_scores: np.ndarray | None = None
@@ -92,16 +114,34 @@ class GradientBoostingClassifier:
                 rows = rng.choice(n, size=m, replace=False)
             else:
                 rows = np.arange(n)
-            round_trees = []
-            for c in range(k):
-                tree = DecisionTreeRegressor(
-                    max_depth=self.max_depth,
-                    min_samples_leaf=self.min_samples_leaf,
-                    random_state=int(rng.integers(2**31 - 1)),
+            # Seeds come off the shared generator in class order — the
+            # same stream the sequential loop consumed — then the k
+            # independent class trees can fit concurrently.
+            seeds = [int(rng.integers(2**31 - 1)) for _ in range(k)]
+            jobs = resolve_jobs(self.n_jobs)
+            if jobs > 1 and k > 1:
+                X_rows = X[rows]
+                tasks = [
+                    (X_rows, residual[rows, c], self.max_depth,
+                     self.min_samples_leaf, seeds[c])
+                    for c in range(k)
+                ]
+                round_trees = parallel_map(
+                    _fit_round_tree, tasks, n_jobs=jobs, chunksize=1
                 )
-                tree.fit(X[rows], residual[rows, c])
-                scores[:, c] += self.learning_rate * tree.predict(X)
-                round_trees.append(tree)
+                for c, tree in enumerate(round_trees):
+                    scores[:, c] += self.learning_rate * tree.predict(X)
+            else:
+                round_trees = []
+                for c in range(k):
+                    tree = DecisionTreeRegressor(
+                        max_depth=self.max_depth,
+                        min_samples_leaf=self.min_samples_leaf,
+                        random_state=seeds[c],
+                    )
+                    tree.fit(X[rows], residual[rows, c])
+                    scores[:, c] += self.learning_rate * tree.predict(X)
+                    round_trees.append(tree)
             self.trees_.append(round_trees)
         return self
 

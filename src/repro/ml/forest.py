@@ -3,6 +3,13 @@
 Bagged CART trees with per-split feature subsampling, soft-vote
 aggregation, Gini feature importances (the paper's Figure 6 is built
 from these), and an optional out-of-bag score.
+
+Trees are independent once their bootstrap sample and seed are fixed,
+so fitting and prediction fan out over a process pool (``n_jobs``).
+All per-tree randomness is drawn up front from a single generator in
+the same order the sequential loop used, and per-tree results are
+accumulated in tree order, so predictions, importances, and the OOB
+score are bit-identical for every ``n_jobs`` value.
 """
 
 from __future__ import annotations
@@ -10,8 +17,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.tree import DecisionTreeClassifier
+from repro.parallel import parallel_map, resolve_jobs
 
 __all__ = ["RandomForestClassifier"]
+
+
+def _fit_tree_batch(
+    task: tuple[np.ndarray, np.ndarray, dict, list[tuple[np.ndarray, int]]],
+) -> list[DecisionTreeClassifier]:
+    """Fit a batch of trees (runs inside a pool worker)."""
+    X, y_enc, params, specs = task
+    trees = []
+    for sample, tree_seed in specs:
+        tree = DecisionTreeClassifier(random_state=tree_seed, **params)
+        tree.fit(X[sample], y_enc[sample])
+        trees.append(tree)
+    return trees
+
+
+def _predict_tree_batch(
+    task: tuple[list[DecisionTreeClassifier], np.ndarray],
+) -> list[np.ndarray]:
+    """Per-tree class probabilities for a batch (pool worker)."""
+    trees, X = task
+    return [tree.predict_proba(X) for tree in trees]
 
 
 class RandomForestClassifier:
@@ -29,6 +58,11 @@ class RandomForestClassifier:
         When true, compute the out-of-bag accuracy after fitting.
     random_state:
         Seed controlling bootstraps and per-split feature draws.
+    n_jobs:
+        Worker processes for fitting and prediction.  ``None`` defers
+        to the ``REPRO_JOBS`` environment variable (default: all
+        cores); ``1`` keeps everything in-process.  Results are
+        identical for every value.
     """
 
     def __init__(
@@ -40,6 +74,7 @@ class RandomForestClassifier:
         max_features: int | str | None = "sqrt",
         oob_score: bool = False,
         random_state: int | None = None,
+        n_jobs: int | None = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -50,10 +85,26 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.oob_score = oob_score
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeClassifier] = []
         self.classes_: np.ndarray | None = None
         self.feature_importances_: np.ndarray | None = None
         self.oob_score_: float | None = None
+
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+
+    @staticmethod
+    def _batches(n_items: int, jobs: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` batch bounds, one per worker."""
+        n_batches = max(1, min(jobs, n_items))
+        bounds = np.linspace(0, n_items, n_batches + 1).astype(int)
+        return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit the ensemble on integer class labels."""
@@ -66,24 +117,35 @@ class RandomForestClassifier:
         n = X.shape[0]
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         rng = np.random.default_rng(self.random_state)
-        self.trees_ = []
+
+        # Pre-draw every tree's bootstrap sample and seed, in the same
+        # order the sequential loop consumed the generator — the one
+        # stream of randomness all execution paths share.
+        specs = [
+            (rng.integers(0, n, size=n), int(rng.integers(2**31 - 1)))
+            for _ in range(self.n_estimators)
+        ]
+
+        jobs = resolve_jobs(self.n_jobs)
+        if jobs > 1 and self.n_estimators > 1:
+            params = self._tree_params()
+            tasks = [
+                (X, y_enc, params, specs[lo:hi])
+                for lo, hi in self._batches(self.n_estimators, jobs)
+            ]
+            batches = parallel_map(_fit_tree_batch, tasks, n_jobs=jobs, chunksize=1)
+            self.trees_ = [tree for batch in batches for tree in batch]
+        else:
+            self.trees_ = _fit_tree_batch((X, y_enc, self._tree_params(), specs))
+
+        # Accumulate importances and OOB votes in tree order so the
+        # floating-point sums match the sequential path bit for bit.
         importances = np.zeros(X.shape[1])
         oob_votes = (
             np.zeros((n, self.classes_.shape[0])) if self.oob_score else None
         )
         oob_counts = np.zeros(n, dtype=np.int64) if self.oob_score else None
-
-        for _ in range(self.n_estimators):
-            sample = rng.integers(0, n, size=n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=int(rng.integers(2**31 - 1)),
-            )
-            tree.fit(X[sample], y_enc[sample])
-            self.trees_.append(tree)
+        for tree, (sample, _) in zip(self.trees_, specs):
             importances += tree.feature_importances_
             if self.oob_score:
                 mask = np.ones(n, dtype=bool)
@@ -106,10 +168,13 @@ class RandomForestClassifier:
 
     def _tree_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
         """A tree's probabilities aligned to the forest's class order."""
-        proba = tree.predict_proba(X)
+        return self._align(tree, tree.predict_proba(X))
+
+    def _align(self, tree: DecisionTreeClassifier, proba: np.ndarray) -> np.ndarray:
+        """Align precomputed tree probabilities to the forest's classes."""
         if tree.classes_.shape[0] == self.classes_.shape[0]:
             return proba
-        aligned = np.zeros((X.shape[0], self.classes_.shape[0]))
+        aligned = np.zeros((proba.shape[0], self.classes_.shape[0]))
         cols = np.searchsorted(self.classes_, tree.classes_)
         aligned[:, cols] = proba
         return aligned
@@ -120,8 +185,20 @@ class RandomForestClassifier:
             raise RuntimeError("forest is not fitted")
         X = np.asarray(X, dtype=np.float64)
         proba = np.zeros((X.shape[0], self.classes_.shape[0]))
-        for tree in self.trees_:
-            proba += self._tree_proba(tree, X)
+        jobs = resolve_jobs(self.n_jobs)
+        if jobs > 1 and len(self.trees_) > 1:
+            tasks = [
+                (self.trees_[lo:hi], X)
+                for lo, hi in self._batches(len(self.trees_), jobs)
+            ]
+            batches = parallel_map(_predict_tree_batch, tasks, n_jobs=jobs, chunksize=1)
+            per_tree = [p for batch in batches for p in batch]
+            # Sum in tree order: identical float order to sequential.
+            for tree, p in zip(self.trees_, per_tree):
+                proba += self._align(tree, p)
+        else:
+            for tree in self.trees_:
+                proba += self._tree_proba(tree, X)
         return proba / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

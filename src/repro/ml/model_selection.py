@@ -14,6 +14,7 @@ from typing import Iterator, Protocol
 import numpy as np
 
 from repro.ml.metrics import EvalReport, evaluate_predictions
+from repro.parallel import parallel_map
 
 __all__ = ["StratifiedKFold", "clone", "cross_val_predict", "cross_validate"]
 
@@ -80,24 +81,44 @@ class StratifiedKFold:
             yield train, test
 
 
+def _fit_predict_fold(
+    task: tuple[Classifier, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Fit a fold's clone and predict its test split (pool worker)."""
+    estimator, X, y, train, test = task
+    model = clone(estimator)
+    model.fit(X[train], y[train])
+    return model.predict(X[test])
+
+
 def cross_val_predict(
     estimator: Classifier,
     X: np.ndarray,
     y: np.ndarray,
     n_splits: int = 5,
     random_state: int | None = 0,
+    n_jobs: int | None = None,
 ) -> np.ndarray:
-    """Out-of-fold predictions for every sample."""
+    """Out-of-fold predictions for every sample.
+
+    Folds are independent (each clones the estimator and derives its
+    randomness from the estimator's own ``random_state``), so they run
+    through the process pool (``n_jobs``; defaults to ``REPRO_JOBS``)
+    with predictions identical to the sequential path.  Estimators with
+    an ``n_jobs`` attribute stay sequential inside pool workers — the
+    fold level owns the cores.
+    """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     if X.shape[0] != y.shape[0]:
         raise ValueError("X and y length mismatch")
     predictions = np.empty_like(y)
     splitter = StratifiedKFold(n_splits=n_splits, random_state=random_state)
-    for train, test in splitter.split(y):
-        model = clone(estimator)
-        model.fit(X[train], y[train])
-        predictions[test] = model.predict(X[test])
+    splits = list(splitter.split(y))
+    tasks = [(estimator, X, y, train, test) for train, test in splits]
+    fold_preds = parallel_map(_fit_predict_fold, tasks, n_jobs=n_jobs, chunksize=1)
+    for (_, test), pred in zip(splits, fold_preds):
+        predictions[test] = pred
     return predictions
 
 
@@ -108,10 +129,11 @@ def cross_validate(
     n_splits: int = 5,
     positive: int = 0,
     random_state: int | None = 0,
+    n_jobs: int | None = None,
 ) -> EvalReport:
     """The paper's evaluation: k-fold CV, pooled A/R/P + confusion."""
     y_pred = cross_val_predict(
-        estimator, X, y, n_splits=n_splits, random_state=random_state
+        estimator, X, y, n_splits=n_splits, random_state=random_state, n_jobs=n_jobs
     )
     n_classes = int(np.asarray(y).max()) + 1
     return evaluate_predictions(y, y_pred, positive=positive, n_classes=max(n_classes, 3))

@@ -19,9 +19,13 @@ import numpy as np
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
-    """One tree node; ``feature < 0`` marks a leaf."""
+    """One tree node; ``feature < 0`` marks a leaf.
+
+    Slotted: forests ship fitted trees across process boundaries, and
+    dropping the per-node ``__dict__`` roughly halves pickle size.
+    """
 
     feature: int
     threshold: float

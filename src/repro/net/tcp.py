@@ -114,9 +114,23 @@ class TcpConnection:
 
     _next_id = 0
 
-    def __init__(self, link: Link, params: TcpParams, opened_at: float, rng: np.random.Generator):
-        self.connection_id = TcpConnection._next_id
-        TcpConnection._next_id += 1
+    def __init__(
+        self,
+        link: Link,
+        params: TcpParams,
+        opened_at: float,
+        rng: np.random.Generator,
+        connection_id: int | None = None,
+    ):
+        # Callers that need reproducible records (the session pool)
+        # pass a scoped id; the process-global counter is only a
+        # fallback for ad-hoc construction.  Global ids would make a
+        # session's record depend on how many sessions ran earlier in
+        # the same process — breaking bit-identical parallel corpora.
+        if connection_id is None:
+            connection_id = TcpConnection._next_id
+            TcpConnection._next_id += 1
+        self.connection_id = connection_id
         self.link = link
         self.params = params
         self.opened_at = opened_at

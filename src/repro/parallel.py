@@ -1,0 +1,144 @@
+"""Parallel execution layer.
+
+The paper's pitch is that coarse-grained QoE inference is cheap enough
+to run at ISP scale, so the reproduction should at least use the cores
+it is given.  This module centralizes how the hot paths (corpus
+collection, forest training, cross validation, experiment drivers) fan
+work out over processes:
+
+* :func:`resolve_jobs` turns an ``n_jobs`` argument plus the
+  ``REPRO_JOBS`` environment variable into a concrete worker count
+  (default: all cores; ``1`` forces the plain sequential code path).
+* :func:`parallel_map` is an ordered ``map`` over a reusable
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with chunking, a
+  sequential fallback, and recovery from broken pools.
+
+Determinism is the callers' contract — every parallelized site draws
+its per-task randomness up front (``SeedSequence.spawn`` for corpus
+collection, pre-drawn per-tree seeds for the forest) so results are
+bit-identical for any worker count.  Workers themselves always run
+sequentially (nested pools would oversubscribe the machine), enforced
+centrally here via a pool initializer.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["JOBS_ENV_VAR", "resolve_jobs", "parallel_map", "shutdown"]
+
+#: Environment variable controlling the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Set in pool workers so nested calls degrade to the sequential path.
+_IN_WORKER = False
+
+#: Executors are expensive to start (each worker re-imports numpy), so
+#: they are cached per worker count and reused across calls.
+_EXECUTORS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _worker_init() -> None:
+    """Runs in every pool worker: force nested work sequential."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    os.environ[JOBS_ENV_VAR] = "1"
+
+
+def resolve_jobs(n_jobs: int | None = None) -> int:
+    """Concrete worker count for an ``n_jobs`` argument.
+
+    ``None`` defers to ``REPRO_JOBS`` (itself defaulting to
+    ``os.cpu_count()``); ``-1`` means all cores; positive values are
+    taken as-is.  Inside a pool worker this always returns 1.
+    """
+    if _IN_WORKER:
+        return 1
+    if n_jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env:
+            try:
+                n_jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer (>= 1 or -1), "
+                    f"got {env!r}"
+                ) from None
+        else:
+            n_jobs = -1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return int(n_jobs)
+
+
+def _executor(max_workers: int) -> ProcessPoolExecutor:
+    executor = _EXECUTORS.get(max_workers)
+    if executor is None:
+        import multiprocessing
+
+        # fork (where available) starts workers in milliseconds and
+        # inherits loaded modules; spawn is the portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=_worker_init,
+        )
+        _EXECUTORS[max_workers] = executor
+    return executor
+
+
+def shutdown() -> None:
+    """Shut down all cached executors (idempotent; used by tests)."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T] | Sequence[T],
+    n_jobs: int | None = None,
+    chunksize: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]``, fanned out over processes.
+
+    Results keep the input order, so callers that accumulate them
+    sequentially get bit-identical floats regardless of worker count.
+    Falls back to the plain loop when one worker is requested, there is
+    at most one item, or the pool breaks (e.g. fork is unavailable in a
+    sandbox) — the parallel path is an optimization, never a
+    requirement.
+
+    ``fn`` and every item must be picklable (``fn`` at module level).
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(n_jobs), len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        # ~4 chunks per worker: coarse enough to amortize pickling,
+        # fine enough to balance uneven task durations.
+        chunksize = max(1, math.ceil(len(items) / (4 * jobs)))
+    executor = _executor(jobs)
+    try:
+        return list(executor.map(fn, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        _EXECUTORS.pop(jobs, None)
+        return [fn(item) for item in items]

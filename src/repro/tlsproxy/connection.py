@@ -101,7 +101,13 @@ class TlsConnectionPool:
             # issue requests sequentially, so this is usually unique).
             return min(candidates, key=lambda c: c.last_activity)
         conn = TcpConnection(
-            self.link, self._params_factory(self._rng), opened_at=now, rng=self._rng
+            self.link,
+            self._params_factory(self._rng),
+            opened_at=now,
+            rng=self._rng,
+            # Pool-scoped ids keep session records independent of any
+            # process-global state (bit-identical parallel collection).
+            connection_id=len(self.history),
         )
         self._open.setdefault(host, []).append(conn)
         self.history.append((host, conn))
