@@ -20,8 +20,6 @@ Run with::
     python examples/isp_monitoring.py
 """
 
-import numpy as np
-
 from repro.collection import CollectionConfig, collect_corpus
 from repro.features import extract_tls_matrix
 from repro.ml import RandomForestClassifier

@@ -26,7 +26,8 @@ from pathlib import Path
 from repro._version import __version__
 from repro.collection.dataset import Dataset
 from repro.collection.harness import collect_corpus
-from repro.features.tls_features import extract_tls_features, extract_tls_matrix
+from repro.features.tls_features import extract_tls_matrix
+from repro.tlsproxy.table import TransactionTable
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import evaluate_predictions
 from repro.ml.model_selection import cross_validate
@@ -136,14 +137,20 @@ def _cmd_split(args: argparse.Namespace) -> int:
     model_payload = (
         pickle.loads(Path(args.model).read_bytes()) if args.model else None
     )
-    for i, group in enumerate(groups, 1):
-        start = min(t.start for t in group)
-        end = max(t.end for t in group)
-        line = f"  session {i}: {len(group)} transactions, [{start:.1f}s, {end:.1f}s]"
-        if model_payload:
-            features = extract_tls_features(group).reshape(1, -1)
-            category = int(model_payload["model"].predict(features)[0])
-            line += f", estimated QoE: {COMBINED_NAMES[category]}"
+    # One columnar table over the detected sessions: batch feature
+    # extraction and one predict call instead of a per-group loop.
+    table = TransactionTable.from_sessions(groups)
+    categories = None
+    if model_payload:
+        X, _ = extract_tls_matrix(table)
+        categories = model_payload["model"].predict(X)
+    for i in range(table.n_sessions):
+        lo, hi = table.session_rows(i)
+        start = float(table.start[lo:hi].min())
+        end = float(table.end[lo:hi].max())
+        line = f"  session {i + 1}: {hi - lo} transactions, [{start:.1f}s, {end:.1f}s]"
+        if categories is not None:
+            line += f", estimated QoE: {COMBINED_NAMES[int(categories[i])]}"
         print(line)
     return 0
 

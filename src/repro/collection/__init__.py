@@ -8,7 +8,7 @@ synthesize packet traces, and the player's ground-truth QoE, all packed
 into a compact :class:`~repro.collection.dataset.SessionRecord`.
 """
 
-from repro.collection.dataset import Dataset, SessionRecord
+from repro.collection.dataset import Dataset, DatasetFormatError, SessionRecord
 from repro.collection.harness import (
     CollectionConfig,
     collect_corpus,
@@ -19,6 +19,7 @@ from repro.collection.harness import (
 __all__ = [
     "SessionRecord",
     "Dataset",
+    "DatasetFormatError",
     "CollectionConfig",
     "collect_session",
     "collect_corpus",

@@ -12,17 +12,25 @@ Records serialize to plain JSON (optionally gzipped) so corpora can be
 cached between experiment runs.  Large numeric arrays (``transfers``,
 ``http``, ``connections``) are stored as base64-encoded raw bytes
 inside the JSON envelope (format 2) — an order of magnitude faster
-than the old per-element list round-trip and exact to the bit; format-1
-corpora (nested lists) still load.
+than the old per-element list round-trip and exact to the bit.  Format
+3 additionally hoists every session's TLS transactions into one
+corpus-level columnar block (the struct-of-arrays layout of
+:class:`~repro.tlsproxy.table.TransactionTable`, same base64 codec,
+SNI hostnames dictionary-encoded), so loading reconstitutes the
+transaction table directly instead of re-parsing per-session lists.
+Format-1 (nested lists) and format-2 corpora still load; malformed
+files raise :class:`DatasetFormatError`.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
 import gzip
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -35,14 +43,22 @@ from repro.net.packets import PacketTrace, synthesize_packet_trace
 from repro.net.tcp import Transfer
 from repro.qoe.labels import SessionLabels, compute_labels
 from repro.tlsproxy.records import ResourceType, TlsTransaction
+from repro.tlsproxy.table import TransactionTable
 
-__all__ = ["SessionRecord", "Dataset"]
+__all__ = ["SessionRecord", "Dataset", "DatasetFormatError"]
 
 _RESOURCE_CODES = {rt: i for i, rt in enumerate(ResourceType)}
 _RESOURCE_FROM_CODE = {i: rt for rt, i in _RESOURCE_CODES.items()}
 
 #: On-disk format version written by :meth:`Dataset.save`.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Format versions :meth:`Dataset.load` understands.
+SUPPORTED_FORMATS = (1, 2, 3)
+
+
+class DatasetFormatError(RuntimeError):
+    """A corpus file is malformed, truncated, or of an unknown format."""
 
 
 def _encode_array(a: np.ndarray) -> dict:
@@ -229,15 +245,15 @@ class SessionRecord:
         return self.http["resource_code"] == _RESOURCE_CODES[resource]
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        """JSON-serializable representation."""
-        return {
+    def to_dict(self, include_tls: bool = True) -> dict:
+        """JSON-serializable representation.
+
+        ``include_tls=False`` omits the per-session transaction rows —
+        format-3 corpora store them once, columnar, at the corpus level.
+        """
+        payload = {
             "service": self.service,
             "video_id": self.video_id,
-            "tls_transactions": [
-                [t.start, t.end, t.uplink_bytes, t.downlink_bytes, t.sni]
-                for t in self.tls_transactions
-            ],
             "http": {k: _encode_array(v) for k, v in self.http.items()},
             "transfers": _encode_array(self.transfers),
             "connections": _encode_array(self.connections),
@@ -255,10 +271,25 @@ class SessionRecord:
             "link_mean_bps": self.link_mean_bps,
             "session_hosts": list(self.session_hosts),
         }
+        if include_tls:
+            payload["tls_transactions"] = [
+                [t.start, t.end, t.uplink_bytes, t.downlink_bytes, t.sni]
+                for t in self.tls_transactions
+            ]
+        return payload
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "SessionRecord":
-        """Inverse of :meth:`to_dict` (accepts format 1 and 2 arrays)."""
+    def from_dict(
+        cls,
+        payload: dict,
+        tls_transactions: list[TlsTransaction] | None = None,
+    ) -> "SessionRecord":
+        """Inverse of :meth:`to_dict` (accepts format 1 and 2 arrays).
+
+        Format-3 corpora keep the transaction rows columnar at the
+        corpus level; the loader passes each session's slice in via
+        ``tls_transactions`` instead of the payload.
+        """
         http = {
             "start": _decode_array(payload["http"]["start"], np.float64),
             "end": _decode_array(payload["http"]["end"], np.float64),
@@ -273,10 +304,8 @@ class SessionRecord:
             quality=payload["labels"]["quality"],
             combined=payload["labels"]["combined"],
         )
-        return cls(
-            service=payload["service"],
-            video_id=payload["video_id"],
-            tls_transactions=[
+        if tls_transactions is None:
+            tls_transactions = [
                 TlsTransaction(
                     start=row[0],
                     end=row[1],
@@ -285,7 +314,11 @@ class SessionRecord:
                     sni=row[4],
                 )
                 for row in payload["tls_transactions"]
-            ],
+            ]
+        return cls(
+            service=payload["service"],
+            video_id=payload["video_id"],
+            tls_transactions=tls_transactions,
             http=http,
             transfers=_decode_array(payload["transfers"], np.float64).reshape(
                 -1, len(_TRANSFER_COLUMNS)
@@ -310,6 +343,11 @@ class Dataset:
 
     service: str
     sessions: list[SessionRecord] = field(default_factory=list)
+    #: Cached columnar view of every session's TLS transactions,
+    #: invalidated when the session count changes.
+    _tls_table: TransactionTable | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.sessions)
@@ -344,21 +382,63 @@ class Dataset:
                     f"record from {record.service!r} cannot join {self.service!r} dataset"
                 )
             self.sessions.append(record)
+        self._tls_table = None
+
+    def tls_table(self) -> TransactionTable:
+        """The corpus's TLS transactions as one columnar table.
+
+        Built once and cached (format-3 loads arrive with it already
+        populated); every vectorized consumer — feature extraction,
+        boundary evaluation, serialization — shares this instance.  The
+        cache tracks the session count, so a table built before direct
+        ``sessions`` mutations is discarded; consumers that mutate
+        records in place should call :meth:`invalidate_tls_table`.
+        """
+        table = self._tls_table
+        if table is None or table.n_sessions != len(self.sessions):
+            table = TransactionTable.from_sessions(
+                [s.tls_transactions for s in self.sessions]
+            )
+            self._tls_table = table
+        return table
+
+    def invalidate_tls_table(self) -> None:
+        """Drop the cached columnar view (after in-place session edits)."""
+        self._tls_table = None
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the corpus as (gzipped, if ``.gz``) JSON.
+        """Write the corpus as (gzipped, if ``.gz``) format-3 JSON.
 
-        The write is atomic: bytes go to a temp file in the target
-        directory which is then ``os.replace``d over ``path``, so a
-        concurrent reader (parallel benchmark/experiment runs share
-        the ``.cache/`` directory) never sees a truncated corpus.
+        The TLS transactions of every session go into one corpus-level
+        columnar block (``tls``): the four float64 columns and the
+        offset index base64-encoded like every other array, SNI
+        hostnames dictionary-encoded (unique host list + per-row int
+        codes).  The write is atomic: bytes go to a temp file in the
+        target directory which is then ``os.replace``d over ``path``,
+        so a concurrent reader (parallel benchmark/experiment runs
+        share the ``.cache/`` directory) never sees a truncated corpus.
         """
         path = Path(path)
+        table = self.tls_table()
+        hosts = sorted(set(table.sni))
+        host_code = {h: i for i, h in enumerate(hosts)}
+        codes = np.fromiter(
+            (host_code[s] for s in table.sni), dtype=np.int32, count=table.n_rows
+        )
         payload = {
             "format": FORMAT_VERSION,
             "service": self.service,
-            "sessions": [s.to_dict() for s in self.sessions],
+            "tls": {
+                "start": _encode_array(table.start),
+                "end": _encode_array(table.end),
+                "uplink": _encode_array(table.uplink),
+                "downlink": _encode_array(table.downlink),
+                "offsets": _encode_array(table.offsets),
+                "hosts": hosts,
+                "host_codes": _encode_array(codes),
+            },
+            "sessions": [s.to_dict(include_tls=False) for s in self.sessions],
         }
         raw = json.dumps(payload, separators=(",", ":")).encode()
         if path.suffix == ".gz":
@@ -379,13 +459,72 @@ class Dataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "Dataset":
-        """Read a corpus written by :meth:`save`."""
+        """Read a corpus written by :meth:`save` (formats 1, 2 and 3).
+
+        Any malformed, truncated, or unknown-format file raises a
+        single :class:`DatasetFormatError` naming the offending path —
+        parsing internals (``KeyError``, ``binascii.Error``, torn gzip
+        streams, ...) never leak.
+        """
         path = Path(path)
         raw = path.read_bytes()
-        if path.suffix == ".gz":
-            raw = gzip.decompress(raw)
-        payload = json.loads(raw)
-        return cls(
-            service=payload["service"],
-            sessions=[SessionRecord.from_dict(p) for p in payload["sessions"]],
+        try:
+            if path.suffix == ".gz":
+                raw = gzip.decompress(raw)
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("corpus payload is not a JSON object")
+            version = payload.get("format", 1)
+            if version not in SUPPORTED_FORMATS:
+                raise ValueError(
+                    f"unknown corpus format {version!r} "
+                    f"(supported: {SUPPORTED_FORMATS})"
+                )
+            if version >= 3:
+                return cls._from_payload_v3(payload)
+            return cls(
+                service=payload["service"],
+                sessions=[SessionRecord.from_dict(p) for p in payload["sessions"]],
+            )
+        except (
+            KeyError,
+            IndexError,
+            ValueError,
+            TypeError,
+            binascii.Error,
+            EOFError,
+            zlib.error,
+            gzip.BadGzipFile,
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+        ) as exc:
+            raise DatasetFormatError(f"corrupt corpus file {path}: {exc}") from exc
+
+    @classmethod
+    def _from_payload_v3(cls, payload: dict) -> "Dataset":
+        """Materialize a format-3 corpus: columnar TLS block + sessions."""
+        tls = payload["tls"]
+        hosts = list(tls["hosts"])
+        codes = _decode_array(tls["host_codes"], np.int64)
+        table = TransactionTable(
+            start=_decode_array(tls["start"], np.float64),
+            end=_decode_array(tls["end"], np.float64),
+            uplink=_decode_array(tls["uplink"], np.float64),
+            downlink=_decode_array(tls["downlink"], np.float64),
+            offsets=_decode_array(tls["offsets"], np.int64),
+            sni=tuple(hosts[c] for c in codes),
         )
+        if table.n_sessions != len(payload["sessions"]):
+            raise ValueError(
+                f"TLS offset index covers {table.n_sessions} sessions "
+                f"but the corpus stores {len(payload['sessions'])}"
+            )
+        dataset = cls(
+            service=payload["service"],
+            sessions=[
+                SessionRecord.from_dict(p, tls_transactions=table.transactions(i))
+                for i, p in enumerate(payload["sessions"])
+            ],
+        )
+        dataset._tls_table = table
+        return dataset

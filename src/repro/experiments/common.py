@@ -99,6 +99,10 @@ def get_corpus(
             # so concurrent benchmark/experiment runs racing on the
             # same key never observe a truncated corpus.
             dataset.save(path)
+    # Materialize the columnar transaction table once per corpus
+    # (format-3 loads already carry it) so every downstream consumer —
+    # feature extraction, experiments, CLI — shares one instance.
+    dataset.tls_table()
     _MEMORY_CACHE[key] = dataset
     return dataset
 

@@ -22,6 +22,7 @@ from repro.features.tls_features import (
     TLS_FEATURE_NAMES,
     extract_tls_features,
     extract_tls_matrix,
+    extract_tls_table,
     feature_groups,
     feature_names,
     temporal_feature_names,
@@ -32,6 +33,7 @@ __all__ = [
     "TEMPORAL_INTERVALS",
     "extract_tls_features",
     "extract_tls_matrix",
+    "extract_tls_table",
     "feature_groups",
     "feature_names",
     "temporal_feature_names",

@@ -17,6 +17,18 @@ bytes, downlink bytes) of a session's TLS transactions:
 
 Rates are in bytes/second and sizes in bytes; tree models are
 scale-invariant and the distance-based models standardize internally.
+
+Two extraction paths produce bit-identical output:
+
+* :func:`extract_tls_features` — the per-session reference
+  implementation (one transaction list in, one vector out).
+* :func:`extract_tls_matrix` — the columnar fast path: one
+  :class:`~repro.tlsproxy.table.TransactionTable` for the whole corpus,
+  every feature computed with segment reductions, no per-session loop.
+
+Both paths sum with the sequential left-to-right order of
+``np.add.reduceat`` (see :mod:`repro.tlsproxy.table`), which is what
+makes ``np.array_equal`` between them hold exactly.
 """
 
 from __future__ import annotations
@@ -25,8 +37,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.collection.dataset import Dataset
-from repro.tlsproxy.records import TlsTransaction
+from repro.tlsproxy.records import TlsTransaction, transactions_to_columns
+from repro.tlsproxy.table import (
+    TransactionTable,
+    ordered_sum,
+    segment_min_med_max,
+    segment_sum,
+)
 
 __all__ = [
     "TEMPORAL_INTERVALS",
@@ -34,6 +51,7 @@ __all__ = [
     "feature_groups",
     "extract_tls_features",
     "extract_tls_matrix",
+    "extract_tls_table",
 ]
 
 #: Interval end-points (seconds) for the temporal features.  The paper
@@ -94,13 +112,13 @@ def extract_tls_features(
     ``transactions`` is everything the proxy exported for the session;
     order does not matter.  ``intervals`` is the temporal-interval
     hyperparameter (paper §3); the default is the paper's grid.
+
+    This is the reference implementation the columnar fast path
+    (:func:`extract_tls_matrix`) is held bit-identical to.
     """
     if not transactions:
         raise ValueError("a session needs at least one TLS transaction")
-    starts = np.array([t.start for t in transactions])
-    ends = np.array([t.end for t in transactions])
-    uplink = np.array([t.uplink_bytes for t in transactions], dtype=np.float64)
-    downlink = np.array([t.downlink_bytes for t in transactions], dtype=np.float64)
+    starts, ends, uplink, downlink, _ = transactions_to_columns(transactions)
 
     session_start = float(starts.min())
     session_end = float(ends.max())
@@ -108,8 +126,8 @@ def extract_tls_features(
     n = len(transactions)
 
     features = [
-        downlink.sum() / ses_dur,  # SDR_DL
-        uplink.sum() / ses_dur,  # SDR_UL
+        ordered_sum(downlink) / ses_dur,  # SDR_DL
+        ordered_sum(uplink) / ses_dur,  # SDR_UL
         ses_dur,  # SES_DUR
         n / ses_dur,  # TRANS_PER_SEC
     ]
@@ -129,8 +147,8 @@ def extract_tls_features(
     for x in intervals:
         overlap = np.clip(np.minimum(rel_end, x) - rel_start, 0.0, None)
         share = np.minimum(overlap / span, 1.0)
-        features.append(float((downlink * share).sum()))
-        features.append(float((uplink * share).sum()))
+        features.append(ordered_sum(downlink * share))
+        features.append(ordered_sum(uplink * share))
 
     vector = np.asarray(features, dtype=np.float64)
     if vector.shape[0] != len(feature_names(intervals)):
@@ -138,19 +156,97 @@ def extract_tls_features(
     return vector
 
 
+def extract_tls_table(
+    table: TransactionTable,
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+) -> np.ndarray:
+    """Columnar kernel: the whole corpus's features via segment reductions.
+
+    One row per table session, bit-identical to running
+    :func:`extract_tls_features` on each session's transactions.  No
+    per-session Python loop: every feature is a reduction
+    (``reduceat``/sorted-offset arithmetic) over the flat columns.
+    """
+    counts = table.counts
+    if np.any(counts == 0):
+        raise ValueError("a session needs at least one TLS transaction")
+    starts, ends = table.start, table.end
+    uplink, downlink = table.uplink, table.downlink
+    offsets = table.offsets
+    lo = offsets[:-1]
+    segment_ids = table.session_ids
+
+    session_start = np.minimum.reduceat(starts, lo)
+    session_end = np.maximum.reduceat(ends, lo)
+    ses_dur = np.maximum(session_end - session_start, 1e-9)
+
+    columns = [
+        segment_sum(downlink, offsets) / ses_dur,  # SDR_DL
+        segment_sum(uplink, offsets) / ses_dur,  # SDR_UL
+        ses_dur,  # SES_DUR
+        counts.astype(np.float64) / ses_dur,  # TRANS_PER_SEC
+    ]
+
+    durations = ends - starts
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tdr = np.where(durations > 0, downlink / np.maximum(durations, 1e-9), downlink)
+        d2u = np.where(uplink > 0, downlink / np.maximum(uplink, 1e-9), downlink)
+
+    # IAT: diffs of within-session sorted start times.  Sorting the
+    # flat column by (session, start) keeps sessions contiguous, so the
+    # per-row diff is valid everywhere except the first row of each
+    # session, which is dropped.
+    sorted_starts = starts[np.lexsort((starts, segment_ids))]
+    diffs = sorted_starts[1:] - sorted_starts[:-1]
+    keep = np.ones(max(table.n_rows - 1, 0), dtype=bool)
+    keep[lo[1:] - 1] = False
+    iat = diffs[keep]
+    iat_counts = counts - 1
+    iat_offsets = np.zeros(offsets.shape[0], dtype=np.int64)
+    np.cumsum(iat_counts, out=iat_offsets[1:])
+    iat_ids = np.repeat(np.arange(table.n_sessions, dtype=np.int64), iat_counts)
+
+    for metric, m_offsets, m_ids in (
+        (downlink, offsets, segment_ids),
+        (uplink, offsets, segment_ids),
+        (durations, offsets, segment_ids),
+        (tdr, offsets, segment_ids),
+        (d2u, offsets, segment_ids),
+        (iat, iat_offsets, iat_ids),
+    ):
+        columns.extend(segment_min_med_max(metric, m_offsets, m_ids))
+
+    # Temporal: pro-rata share of each transaction inside [0, X].
+    rel_start = starts - session_start[segment_ids]
+    rel_end = ends - session_start[segment_ids]
+    span = np.maximum(rel_end - rel_start, 1e-9)
+    for x in intervals:
+        overlap = np.clip(np.minimum(rel_end, x) - rel_start, 0.0, None)
+        share = np.minimum(overlap / span, 1.0)
+        columns.append(segment_sum(downlink * share, offsets))
+        columns.append(segment_sum(uplink * share, offsets))
+
+    matrix = np.column_stack(columns)
+    if matrix.shape[1] != len(feature_names(intervals)):
+        raise AssertionError("feature matrix width drifted from the schema")
+    return matrix
+
+
 def extract_tls_matrix(
-    dataset: Dataset,
+    dataset,
     intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
 ) -> tuple[np.ndarray, tuple[str, ...]]:
-    """Feature matrix for a whole corpus.
+    """Feature matrix for a whole corpus — the columnar fast path.
 
+    ``dataset`` is a :class:`~repro.collection.dataset.Dataset` (whose
+    cached :meth:`~repro.collection.dataset.Dataset.tls_table` is used)
+    or a :class:`~repro.tlsproxy.table.TransactionTable` directly.
     Returns ``(X, names)`` with one row per session; ``names`` equals
-    :data:`TLS_FEATURE_NAMES` for the default interval grid.
+    :data:`TLS_FEATURE_NAMES` for the default interval grid.  Output is
+    bit-identical to stacking :func:`extract_tls_features` per session.
     """
     names = feature_names(intervals)
-    if len(dataset) == 0:
+    table = dataset if isinstance(dataset, TransactionTable) else dataset.tls_table()
+    if table.n_sessions == 0:
         return np.empty((0, len(names))), names
-    X = np.vstack(
-        [extract_tls_features(s.tls_transactions, intervals) for s in dataset]
-    )
-    return X, names
+    return extract_tls_table(table, intervals), names

@@ -169,10 +169,8 @@ class GradientBoostingClassifier:
         if not self.trees_:
             raise RuntimeError("model is not fitted")
         importances = np.zeros_like(self.trees_[0][0].feature_importances_)
-        count = 0
         for round_trees in self.trees_:
             for tree in round_trees:
                 importances += tree.feature_importances_
-                count += 1
         total = importances.sum()
         return importances / total if total > 0 else importances

@@ -88,13 +88,11 @@ def _slice_bounds(
     """
     bounds: list[tuple[float, float]] = []
     record_start = float(intervals[0, 0])
-    cursor = record_start
     last_activity = record_start
     for start, end in intervals:
         if start - last_activity > config.idle_timeout_s:
             bounds.append((record_start, last_activity))
             record_start = float(start)
-        t = max(float(start), record_start)
         last_activity = max(last_activity, float(end))
         # Active timeout flushes mid-transfer as well.
         while last_activity - record_start > config.active_timeout_s:

@@ -6,6 +6,13 @@ schema applies directly, computed over flow *slices* instead of TLS
 connections.  Because the active timeout splits long flows, the
 temporal features gain resolution the TLS view lacks; packet counters
 additionally enable a mean-packet-size feature family.
+
+Like the TLS pipeline, extraction is two-path: a per-session reference
+(:func:`extract_flow_features`) and a columnar corpus path
+(:func:`extract_flow_matrix`) that pours every session's flow records
+into one :class:`~repro.tlsproxy.table.TransactionTable` and reuses
+the vectorized TLS kernel plus segment reductions for the packet
+statistics.  The two are bit-identical.
 """
 
 from __future__ import annotations
@@ -15,9 +22,19 @@ from typing import Sequence
 import numpy as np
 
 from repro.collection.dataset import Dataset
-from repro.features.tls_features import TLS_FEATURE_NAMES, extract_tls_features
+from repro.features.tls_features import (
+    TLS_FEATURE_NAMES,
+    extract_tls_features,
+    extract_tls_table,
+)
 from repro.netflow.exporter import ExporterConfig, FlowRecord, export_flows
 from repro.tlsproxy.records import TlsTransaction
+from repro.tlsproxy.table import (
+    TransactionTable,
+    ordered_sum,
+    segment_min_med_max,
+    segment_sum,
+)
 
 __all__ = ["FLOW_FEATURE_NAMES", "extract_flow_features", "extract_flow_matrix"]
 
@@ -30,7 +47,7 @@ FLOW_FEATURE_NAMES: tuple[str, ...] = TLS_FEATURE_NAMES + (
 
 
 def extract_flow_features(flows: Sequence[FlowRecord]) -> np.ndarray:
-    """Feature vector for one session's flow records."""
+    """Feature vector for one session's flow records (reference path)."""
     if not flows:
         raise ValueError("a session needs at least one flow record")
     as_transactions = [
@@ -57,20 +74,78 @@ def extract_flow_features(flows: Sequence[FlowRecord]) -> np.ndarray:
         [
             float(np.median(size_down)),
             float(np.median(size_up)),
-            float((pkts_down.sum() + pkts_up.sum()) / max(session_span, 1e-9)),
+            (ordered_sum(pkts_down) + ordered_sum(pkts_up))
+            / max(session_span, 1e-9),
         ]
     )
     return np.concatenate([base, extra])
 
 
+def _flow_table(
+    per_session: list[list[FlowRecord]],
+) -> tuple[TransactionTable, np.ndarray, np.ndarray]:
+    """Columns for a corpus's flows: table + packet-count columns."""
+    counts = np.fromiter(
+        (len(flows) for flows in per_session), dtype=np.int64, count=len(per_session)
+    )
+    offsets = np.zeros(len(per_session) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    n = int(offsets[-1])
+    start = np.empty(n, dtype=np.float64)
+    end = np.empty(n, dtype=np.float64)
+    bytes_up = np.empty(n, dtype=np.float64)
+    bytes_down = np.empty(n, dtype=np.float64)
+    pkts_up = np.empty(n, dtype=np.float64)
+    pkts_down = np.empty(n, dtype=np.float64)
+    i = 0
+    for flows in per_session:
+        for f in flows:
+            start[i] = f.start
+            end[i] = f.end
+            bytes_up[i] = f.bytes_up
+            bytes_down[i] = f.bytes_down
+            pkts_up[i] = f.packets_up
+            pkts_down[i] = f.packets_down
+            i += 1
+    table = TransactionTable(
+        start=start, end=end, uplink=bytes_up, downlink=bytes_down, offsets=offsets
+    )
+    return table, pkts_up, pkts_down
+
+
 def extract_flow_matrix(
     dataset: Dataset, config: ExporterConfig | None = None
 ) -> tuple[np.ndarray, tuple[str, ...]]:
-    """Flow-feature matrix for a whole corpus (exporting on the fly)."""
+    """Flow-feature matrix for a whole corpus (exporting on the fly).
+
+    Flow export runs per session (it is stateful by nature), but all
+    featurization happens columnar: one table for every flow slice in
+    the corpus, segment reductions for the packet statistics.  Output
+    is bit-identical to stacking :func:`extract_flow_features`.
+    """
     if len(dataset) == 0:
         return np.empty((0, len(FLOW_FEATURE_NAMES))), FLOW_FEATURE_NAMES
-    rows = []
-    for record in dataset:
-        flows = export_flows(record, config)
-        rows.append(extract_flow_features(flows))
-    return np.vstack(rows), FLOW_FEATURE_NAMES
+    per_session = [export_flows(record, config) for record in dataset]
+    if any(not flows for flows in per_session):
+        raise ValueError("a session needs at least one flow record")
+    table, pkts_up, pkts_down = _flow_table(per_session)
+    base = extract_tls_table(table)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        size_down = np.where(
+            pkts_down > 0, table.downlink / np.maximum(pkts_down, 1), 0.0
+        )
+        size_up = np.where(pkts_up > 0, table.uplink / np.maximum(pkts_up, 1), 0.0)
+    offsets = table.offsets
+    segment_ids = table.session_ids
+    _, med_down, _ = segment_min_med_max(size_down, offsets, segment_ids)
+    _, med_up, _ = segment_min_med_max(size_up, offsets, segment_ids)
+    lo = offsets[:-1]
+    session_span = np.maximum.reduceat(table.end, lo) - np.minimum.reduceat(
+        table.start, lo
+    )
+    pkts_per_sec = (
+        segment_sum(pkts_down, offsets) + segment_sum(pkts_up, offsets)
+    ) / np.maximum(session_span, 1e-9)
+    X = np.column_stack([base, med_down, med_up, pkts_per_sec])
+    return X, FLOW_FEATURE_NAMES

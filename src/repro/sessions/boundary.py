@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.ml.metrics import confusion_matrix
 from repro.tlsproxy.records import TlsTransaction
+from repro.tlsproxy.table import TransactionTable
 
 __all__ = ["BoundaryConfig", "detect_session_starts", "evaluate_boundary_detection"]
 
@@ -44,26 +45,33 @@ class BoundaryConfig:
 
 
 def detect_session_starts(
-    transactions: Sequence[TlsTransaction],
+    transactions: Sequence[TlsTransaction] | TransactionTable,
     config: BoundaryConfig | None = None,
 ) -> np.ndarray:
     """Flag the transactions that start a new session.
 
     ``transactions`` is the merged stream a proxy sees for one
-    (user, service) pair.  Returns a boolean array aligned with the
-    stream sorted by start time; the caller should sort first (the
-    function sorts internally and maps flags back to the input order).
+    (user, service) pair — a transaction sequence or a columnar
+    :class:`~repro.tlsproxy.table.TransactionTable` (e.g. from
+    :meth:`TransparentProxy.export_table`).  Returns a boolean array
+    aligned with the stream sorted by start time; the caller should
+    sort first (the function sorts internally and maps flags back to
+    the input order).
 
     The first transaction of the stream is always a session start.
     """
     config = config or BoundaryConfig()
-    n = len(transactions)
+    if not isinstance(transactions, TransactionTable):
+        transactions = TransactionTable.from_transactions(transactions)
+    if transactions.sni is None:
+        raise ValueError("boundary detection needs the table's SNI column")
+    n = transactions.n_rows
     if n == 0:
         return np.zeros(0, dtype=bool)
-    starts = np.array([t.start for t in transactions])
+    starts = transactions.start
     order = np.argsort(starts, kind="stable")
     sorted_starts = starts[order]
-    sorted_snis = [transactions[i].sni for i in order]
+    sorted_snis = [transactions.sni[i] for i in order]
 
     flags_sorted = np.zeros(n, dtype=bool)
     current_servers: set[str] = set()

@@ -11,7 +11,18 @@ coarse-grained input data.
 
 from repro.tlsproxy.connection import FetchResult, TlsConnectionPool
 from repro.tlsproxy.hosts import ServiceHostModel, SessionHosts
-from repro.tlsproxy.records import HttpTransaction, ResourceType, TlsTransaction
+from repro.tlsproxy.records import (
+    HttpTransaction,
+    ResourceType,
+    TlsTransaction,
+    transactions_to_columns,
+)
+from repro.tlsproxy.table import (
+    TransactionTable,
+    ordered_sum,
+    segment_min_med_max,
+    segment_sum,
+)
 from repro.tlsproxy.proxy import (
     TransparentProxy,
     connection_to_transaction,
@@ -22,6 +33,11 @@ __all__ = [
     "ResourceType",
     "HttpTransaction",
     "TlsTransaction",
+    "TransactionTable",
+    "transactions_to_columns",
+    "ordered_sum",
+    "segment_sum",
+    "segment_min_med_max",
     "ServiceHostModel",
     "SessionHosts",
     "TlsConnectionPool",

@@ -18,6 +18,7 @@ from typing import Iterable, Sequence
 
 from repro.net.tcp import TcpConnection
 from repro.tlsproxy.records import TlsTransaction
+from repro.tlsproxy.table import TransactionTable
 
 __all__ = ["TransparentProxy"]
 
@@ -70,6 +71,15 @@ class TransparentProxy:
             records.append(connection_to_transaction(host, conn))
         records.sort(key=lambda r: (r.start, r.end))
         return records
+
+    def export_table(self) -> TransactionTable:
+        """Batch export: the observed transactions as one columnar table.
+
+        Same records as :meth:`export` (sorted by start time), delivered
+        as a single-session :class:`~repro.tlsproxy.table.TransactionTable`
+        ready for the vectorized feature path.
+        """
+        return TransactionTable.from_transactions(self.export())
 
 
 def connection_to_transaction(host: str, connection: TcpConnection) -> TlsTransaction:

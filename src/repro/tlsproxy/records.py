@@ -16,8 +16,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Sequence
 
-__all__ = ["ResourceType", "HttpTransaction", "TlsTransaction"]
+import numpy as np
+
+__all__ = [
+    "ResourceType",
+    "HttpTransaction",
+    "TlsTransaction",
+    "transactions_to_columns",
+]
 
 
 class ResourceType(str, enum.Enum):
@@ -139,3 +147,25 @@ class TlsTransaction:
             downlink_bytes=self.downlink_bytes,
             sni=self.sni,
         )
+
+
+def transactions_to_columns(
+    transactions: Sequence[TlsTransaction],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[str, ...]]:
+    """Batch export: record objects -> ``(start, end, uplink, downlink, sni)``.
+
+    The four numeric columns come back as contiguous float64 arrays;
+    this is the single conversion point between row objects and the
+    columnar data plane (:mod:`repro.tlsproxy.table`).
+    """
+    n = len(transactions)
+    start = np.empty(n, dtype=np.float64)
+    end = np.empty(n, dtype=np.float64)
+    uplink = np.empty(n, dtype=np.float64)
+    downlink = np.empty(n, dtype=np.float64)
+    for i, t in enumerate(transactions):
+        start[i] = t.start
+        end[i] = t.end
+        uplink[i] = t.uplink_bytes
+        downlink[i] = t.downlink_bytes
+    return start, end, uplink, downlink, tuple(t.sni for t in transactions)

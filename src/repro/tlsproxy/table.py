@@ -1,0 +1,254 @@
+"""Columnar transaction table: the struct-of-arrays data plane.
+
+Every layer of the pipeline used to shuttle per-session Python lists of
+:class:`~repro.tlsproxy.records.TlsTransaction` dataclasses and rebuild
+numpy arrays inside each consumer.  A :class:`TransactionTable` holds
+the same information once, for a whole corpus, as four contiguous
+float64 columns (``start``, ``end``, ``uplink``, ``downlink``) plus a
+session *offset index*: session ``s`` owns rows
+``[offsets[s], offsets[s + 1])``.  SNI hostnames ride along as an
+optional string column for the consumers that need them (boundary
+detection, serialization).
+
+The module also provides the segment-reduction primitives the
+vectorized feature extractors are built from.  Bit-identity between the
+columnar fast path and the per-session reference extractors hinges on
+one contract: **all sums are sequential left-to-right**
+(``np.add.reduceat`` order).  ``np.ndarray.sum`` uses pairwise/SIMD
+summation whose grouping depends on array length and build flags, so it
+cannot be reproduced segment-wise; :func:`ordered_sum` gives scalar
+code the exact summation order :func:`segment_sum` applies per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.tlsproxy.records import TlsTransaction, transactions_to_columns
+
+__all__ = [
+    "TransactionTable",
+    "ordered_sum",
+    "segment_sum",
+    "segment_min_med_max",
+]
+
+_ZERO_OFFSET = np.zeros(1, dtype=np.intp)
+
+
+def ordered_sum(values: np.ndarray) -> float:
+    """Sequential left-to-right sum of a 1-D array.
+
+    This is the summation order :func:`np.add.reduceat` applies to each
+    segment, so per-session reference code using ``ordered_sum`` is
+    bit-identical to corpus-level code using :func:`segment_sum`.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.add.reduceat(values, _ZERO_OFFSET)[0])
+
+
+def segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sequential sums: one value per ``offsets`` segment.
+
+    ``offsets`` is an ``(S + 1,)`` monotone index array; segment ``s``
+    covers ``values[offsets[s]:offsets[s + 1]]``.  Empty segments sum
+    to ``0.0`` (plain ``np.add.reduceat`` would repeat a neighbouring
+    element there).
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    counts = np.diff(offsets)
+    out = np.zeros(counts.shape[0], dtype=np.float64)
+    nonempty = counts > 0
+    if values.size and nonempty.any():
+        # Empty segments occupy no rows, so the start offsets of the
+        # non-empty segments alone delimit exactly their rows.
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def segment_min_med_max(
+    values: np.ndarray,
+    offsets: np.ndarray,
+    segment_ids: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-segment (min, median, max), zeros for empty segments.
+
+    Matches ``(v.min(), np.median(v), v.max())`` per segment bit for
+    bit: the median of ``n`` sorted values is the middle element (odd
+    ``n``) or the exact mean ``(a + b) / 2`` of the two middle elements
+    (even ``n``), which is what ``np.median`` computes.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    counts = np.diff(offsets)
+    n_segments = counts.shape[0]
+    mins = np.zeros(n_segments, dtype=np.float64)
+    meds = np.zeros(n_segments, dtype=np.float64)
+    maxs = np.zeros(n_segments, dtype=np.float64)
+    nonempty = counts > 0
+    if values.size == 0 or not nonempty.any():
+        return mins, meds, maxs
+    if segment_ids is None:
+        segment_ids = np.repeat(np.arange(n_segments), counts)
+    # Stable sort by (segment, value): values ascending within segments.
+    ranked = values[np.lexsort((values, segment_ids))]
+    lo = offsets[:-1]
+    mins[nonempty] = ranked[lo[nonempty]]
+    maxs[nonempty] = ranked[(offsets[1:] - 1)[nonempty]]
+    med_lo = lo + (counts - 1) // 2
+    med_hi = lo + counts // 2
+    meds[nonempty] = (ranked[med_lo[nonempty]] + ranked[med_hi[nonempty]]) / 2.0
+    return mins, meds, maxs
+
+
+@dataclass(frozen=True)
+class TransactionTable:
+    """Struct-of-arrays view of many sessions' TLS transactions.
+
+    Attributes
+    ----------
+    start, end, uplink, downlink:
+        ``(n_rows,)`` float64 columns, one row per transaction.
+    offsets:
+        ``(n_sessions + 1,)`` int64 offset index; session ``s`` owns
+        rows ``[offsets[s], offsets[s + 1])``.
+    sni:
+        Optional SNI hostname per row (needed by boundary detection
+        and serialization; feature extraction ignores it).
+    """
+
+    start: np.ndarray
+    end: np.ndarray
+    uplink: np.ndarray
+    downlink: np.ndarray
+    offsets: np.ndarray
+    sni: tuple[str, ...] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        for name in ("start", "end", "uplink", "downlink"):
+            column = np.ascontiguousarray(getattr(self, name), dtype=np.float64)
+            if column.ndim != 1:
+                raise ValueError(f"column {name!r} must be one-dimensional")
+            object.__setattr__(self, name, column)
+        offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        object.__setattr__(self, "offsets", offsets)
+        n = self.start.shape[0]
+        if any(
+            getattr(self, name).shape[0] != n for name in ("end", "uplink", "downlink")
+        ):
+            raise ValueError("columns must share one length")
+        if offsets.ndim != 1 or offsets.shape[0] < 1:
+            raise ValueError("offsets must be a non-empty 1-D index")
+        if offsets[0] != 0 or offsets[-1] != n or np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must rise monotonically from 0 to n_rows")
+        if self.sni is not None:
+            sni = tuple(self.sni)
+            if len(sni) != n:
+                raise ValueError("sni must have one hostname per row")
+            object.__setattr__(self, "sni", sni)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_sessions(
+        cls, sessions: Sequence[Sequence[TlsTransaction]]
+    ) -> "TransactionTable":
+        """Build the table once for a corpus of per-session lists."""
+        counts = np.fromiter(
+            (len(s) for s in sessions), dtype=np.int64, count=len(sessions)
+        )
+        offsets = np.zeros(len(sessions) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        flat = [t for session in sessions for t in session]
+        start, end, uplink, downlink, sni = transactions_to_columns(flat)
+        return cls(
+            start=start, end=end, uplink=uplink, downlink=downlink,
+            offsets=offsets, sni=sni,
+        )
+
+    @classmethod
+    def from_transactions(
+        cls, transactions: Sequence[TlsTransaction]
+    ) -> "TransactionTable":
+        """A single-session table (one segment spanning every row)."""
+        start, end, uplink, downlink, sni = transactions_to_columns(transactions)
+        offsets = np.array([0, len(transactions)], dtype=np.int64)
+        return cls(
+            start=start, end=end, uplink=uplink, downlink=downlink,
+            offsets=offsets, sni=sni,
+        )
+
+    # -- shape ----------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Total transactions across all sessions."""
+        return int(self.start.shape[0])
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of sessions the offset index delimits."""
+        return int(self.offsets.shape[0] - 1)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Transactions per session, ``(n_sessions,)`` int64."""
+        return np.diff(self.offsets)
+
+    @property
+    def session_ids(self) -> np.ndarray:
+        """Owning session of each row, ``(n_rows,)`` int64."""
+        return np.repeat(np.arange(self.n_sessions, dtype=np.int64), self.counts)
+
+    def __len__(self) -> int:
+        return self.n_sessions
+
+    # -- access ---------------------------------------------------------
+    def session_rows(self, index: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range of one session."""
+        if not 0 <= index < self.n_sessions:
+            raise IndexError(f"session index {index} out of range")
+        return int(self.offsets[index]), int(self.offsets[index + 1])
+
+    def session(self, index: int) -> "TransactionTable":
+        """A one-session slice (column views, no copies)."""
+        lo, hi = self.session_rows(index)
+        return TransactionTable(
+            start=self.start[lo:hi],
+            end=self.end[lo:hi],
+            uplink=self.uplink[lo:hi],
+            downlink=self.downlink[lo:hi],
+            offsets=np.array([0, hi - lo], dtype=np.int64),
+            sni=self.sni[lo:hi] if self.sni is not None else None,
+        )
+
+    def transactions(self, index: int | None = None) -> list[TlsTransaction]:
+        """Materialize dataclass records (one session, or every row).
+
+        This is the compatibility bridge for consumers that still want
+        row objects; columnar consumers should read the columns.
+        """
+        if self.sni is None:
+            raise ValueError("table has no SNI column to materialize records from")
+        if index is None:
+            lo, hi = 0, self.n_rows
+        else:
+            lo, hi = self.session_rows(index)
+        return [
+            TlsTransaction(
+                start=s, end=e, uplink_bytes=int(u), downlink_bytes=int(d), sni=h
+            )
+            for s, e, u, d, h in zip(
+                self.start[lo:hi].tolist(),
+                self.end[lo:hi].tolist(),
+                self.uplink[lo:hi].tolist(),
+                self.downlink[lo:hi].tolist(),
+                self.sni[lo:hi],
+            )
+        ]
+
+    def iter_sessions(self) -> "list[TransactionTable]":
+        """One single-session slice per session."""
+        return [self.session(i) for i in range(self.n_sessions)]

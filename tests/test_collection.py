@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.collection.dataset import Dataset, SessionRecord
+from repro.collection.dataset import Dataset
 from repro.collection.harness import (
     CollectionConfig,
     collect_corpus,

@@ -98,7 +98,8 @@ class TestPlayerSession:
     def test_low_bandwidth_degrades_svc1_quality(self):
         good = run_session("svc1", bps=20e6, watch=300.0)
         poor = run_session("svc1", bps=0.5e6, watch=300.0)
-        mean_q = lambda tr: np.mean([e.quality for e in tr.play_events])
+        def mean_q(tr):
+            return np.mean([e.quality for e in tr.play_events])
         assert mean_q(poor) < mean_q(good)
 
     def test_very_low_bandwidth_stalls_svc2(self):

@@ -8,7 +8,7 @@ features — agrees end to end.
 import numpy as np
 import pytest
 
-from repro.collection.harness import CollectionConfig, collect_corpus, collect_session
+from repro.collection.harness import collect_corpus, collect_session
 from repro.features.tls_features import extract_tls_features
 from repro.has.services import get_service
 from repro.net.bandwidth import BandwidthTrace, TraceFamily

@@ -44,7 +44,8 @@ class TestTreeProperties:
         X, y = data
         shallow = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
         deep = DecisionTreeClassifier(max_depth=8, random_state=0).fit(X, y)
-        acc = lambda t: (t.predict(X) == y).mean()
+        def acc(t):
+            return (t.predict(X) == y).mean()
         assert acc(deep) >= acc(shallow) - 1e-9
 
     @given(data=classification_data())
@@ -104,5 +105,6 @@ class TestEnsembleProperties:
         X, y = data
         few = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
         many = GradientBoostingClassifier(n_estimators=15, random_state=0).fit(X, y)
-        acc = lambda m: (m.predict(X) == y).mean()
+        def acc(m):
+            return (m.predict(X) == y).mean()
         assert acc(many) >= acc(few) - 0.05

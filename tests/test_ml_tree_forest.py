@@ -129,7 +129,8 @@ class TestDecisionTreeRegressor:
         y = np.sin(4 * X[:, 0])
         shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
         deep = DecisionTreeRegressor(max_depth=6).fit(X, y)
-        mse = lambda t: float(np.mean((t.predict(X) - y) ** 2))
+        def mse(t):
+            return float(np.mean((t.predict(X) - y) ** 2))
         assert mse(deep) < mse(shallow)
 
     def test_constant_target_single_leaf(self):

@@ -222,12 +222,15 @@ class TestSerializationFormats:
                 assert ra.http[key].dtype == rb.http[key].dtype
             assert json.dumps(ra.to_dict()) == json.dumps(rb.to_dict())
 
-    def test_format2_version_field_written(self, dataset, tmp_path):
-        path = tmp_path / "v2.json.gz"
+    def test_format_version_field_written(self, dataset, tmp_path):
+        path = tmp_path / "v3.json.gz"
         dataset.save(path)
         payload = json.loads(gzip.decompress(path.read_bytes()))
-        assert payload["format"] == 2
+        assert payload["format"] == 3
         assert isinstance(payload["sessions"][0]["transfers"], dict)
+        # Format 3 hoists TLS transactions into one columnar block.
+        assert "tls" in payload
+        assert "tls_transactions" not in payload["sessions"][0]
 
     def test_format1_still_loads(self, dataset, tmp_path):
         """Corpora written before the base64 encoding (nested lists,
