@@ -16,7 +16,14 @@ import pytest
 
 os.environ.setdefault("REPRO_SCALE", "0.25")
 
-from repro.experiments import common  # noqa: E402
+from repro.experiments import common, registry  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def experiments():
+    """Registered experiment specs by name, from the declarative
+    registry — the same source ``run_all`` and the CLI resolve."""
+    return {spec.name: spec for spec in registry.all_experiments()}
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,72 @@
+"""Cold-vs-warm benchmark for the artifact store.
+
+Runs the full experiment suite twice against a fresh cache root.  The
+cold run computes and commits every artifact; the warm run (memory LRU
+cleared, so everything comes off disk like a fresh process) must
+re-collect zero corpora and re-extract zero feature matrices, and
+finish at least 3x faster.  Hit/miss counters land in ``extra_info``
+so regressions show up as numbers, not vibes.
+
+``REPRO_SCALE`` controls the corpus sizes as usual (0.2 by default
+here, matching the refactor's acceptance measurement).
+"""
+
+import contextlib
+import io
+import os
+import time
+
+from repro import artifacts
+from repro.experiments import run_all
+
+
+def _run_all_quietly() -> None:
+    with contextlib.redirect_stdout(io.StringIO()):
+        run_all.main()
+
+
+def test_cold_vs_warm_run_all(benchmark, tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("artifact-cache")
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_SCALE", artifacts.CACHE_DIR_ENV_VAR)
+    }
+    os.environ["REPRO_SCALE"] = os.environ.get("REPRO_BENCH_ARTIFACT_SCALE", "0.2")
+    os.environ[artifacts.CACHE_DIR_ENV_VAR] = str(cache_root)
+    try:
+        store = artifacts.get_store()
+        store.reset_counters()
+
+        t0 = time.perf_counter()
+        _run_all_quietly()
+        cold_seconds = time.perf_counter() - t0
+        cold = store.counter_snapshot()
+
+        # Fresh-process conditions for the warm run: counters zeroed
+        # and the memory LRU dropped, so every artifact must come off
+        # disk.
+        store.reset_counters()
+        store.clear_memory()
+        t0 = time.perf_counter()
+        benchmark.pedantic(_run_all_quietly, rounds=1, iterations=1)
+        warm_seconds = time.perf_counter() - t0
+        warm = store.counter_snapshot()
+
+        benchmark.extra_info["cold_seconds"] = round(cold_seconds, 2)
+        benchmark.extra_info["warm_seconds"] = round(warm_seconds, 2)
+        benchmark.extra_info["cold_counters"] = cold
+        benchmark.extra_info["warm_counters"] = warm
+
+        assert cold["misses"] > 0, "cold run must have computed artifacts"
+        assert warm["misses"] == 0, f"warm run recomputed artifacts: {warm}"
+        assert warm["hits"] > 0
+        assert warm_seconds * 3 <= cold_seconds, (
+            f"warm run_all only {cold_seconds / warm_seconds:.1f}x faster "
+            f"({warm_seconds:.1f}s vs {cold_seconds:.1f}s)"
+        )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

@@ -1,17 +1,21 @@
 """Command-line interface.
 
-Five subcommands cover the operational workflow an ISP user of this
+Six subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
     python -m repro train    --corpus corpus.json.gz -o model.pkl
     python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
     python -m repro split    --transactions stream.json [--demo svc1]
-    python -m repro experiment fig5 table3 ...   (or: all)
+    python -m repro experiment fig5 table3 ...   (or: all, or --list)
+    python -m repro cache    info|clear
 
 Models are pickled Random Forests together with their feature schema;
 corpora use the dataset JSON format of
-:mod:`repro.collection.dataset`.
+:mod:`repro.collection.dataset`.  Experiments resolve through the
+declarative registry (:mod:`repro.experiments.registry`); expensive
+intermediates live in the artifact store under ``REPRO_CACHE_DIR``
+(:mod:`repro.artifacts`), which ``cache info``/``cache clear`` manage.
 """
 
 from __future__ import annotations
@@ -156,20 +160,54 @@ def _cmd_split(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import run_all
+    from repro.experiments import registry, run_all
 
+    if args.list:
+        rows = [
+            (spec.name, spec.paper_ref, spec.description)
+            for spec in registry.all_experiments()
+        ]
+        name_w = max(len(r[0]) for r in rows)
+        ref_w = max(len(r[1]) for r in rows)
+        for name, ref, description in rows:
+            print(f"{name:<{name_w}}  {ref:<{ref_w}}  {description}")
+        return 0
+    if not args.names:
+        print("error: name at least one experiment (or --list)", file=sys.stderr)
+        return 2
     if "all" in args.names:
         run_all.main()
         return 0
-    import importlib
+    try:
+        specs = [registry.get(name) for name in args.names]
+    except registry.UnknownExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for spec in specs:
+        spec.run()
+    return 0
 
-    for name in args.names:
-        try:
-            module = importlib.import_module(f"repro.experiments.{name}")
-        except ImportError:
-            print(f"error: unknown experiment {name!r}", file=sys.stderr)
-            return 2
-        module.main()
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.artifacts import CACHE_VERSION, get_store
+
+    store = get_store()
+    if args.action == "info":
+        stats = store.stats()
+        print(f"cache root: {stats['root']} (REPRO_CACHE_DIR)")
+        print(f"cache version: v{CACHE_VERSION}")
+        print(
+            f"artifacts: {stats['entries']} entries, "
+            f"{stats['bytes'] / 1e6:.1f} MB"
+        )
+        for stage, entry in sorted(stats["stages"].items()):
+            print(
+                f"  {stage}: {entry['entries']} entries, "
+                f"{entry['bytes'] / 1e6:.1f} MB"
+            )
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} files from {store.root / 'artifacts'}")
     return 0
 
 
@@ -225,9 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_split)
 
     p = sub.add_parser("experiment", help="run paper experiments by name")
-    p.add_argument("names", nargs="+",
+    p.add_argument("names", nargs="*",
                    help="e.g. fig5 table3 overhead ... or 'all'")
+    p.add_argument("--list", action="store_true",
+                   help="list registered experiments and exit")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("cache", help="inspect or clear the artifact store")
+    p.add_argument("action", choices=("info", "clear"))
+    p.set_defaults(func=_cmd_cache)
     return parser
 
 

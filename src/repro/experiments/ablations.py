@@ -13,14 +13,14 @@ from __future__ import annotations
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
-    default_forest,
+    cv_report_for,
+    default_forest_config,
+    features_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
-from repro.ml.forest import RandomForestClassifier
-from repro.ml.model_selection import cross_validate
+from repro.experiments.registry import experiment
 
 __all__ = ["INTERVAL_GRIDS", "interval_ablation", "forest_size_ablation", "main"]
 
@@ -39,8 +39,13 @@ def interval_ablation(dataset: Dataset | None = None, target: str = "combined") 
     y = dataset.labels(target)
     result = {}
     for name, intervals in INTERVAL_GRIDS.items():
-        X, _ = extract_tls_matrix(dataset, intervals=intervals)
-        report = cross_validate(default_forest(), X, y, n_splits=5)
+        X, _ = features_for(dataset, intervals=intervals)
+        report = cv_report_for(
+            dataset,
+            X,
+            y,
+            {"features": "tls", "intervals": intervals, "target": target},
+        )
         result[name] = {
             "intervals": intervals,
             "accuracy": report.accuracy,
@@ -56,18 +61,28 @@ def forest_size_ablation(
 ) -> dict:
     """Accuracy as a function of the number of trees."""
     dataset = dataset if dataset is not None else get_corpus("svc1")
-    X, _ = extract_tls_matrix(dataset)
+    X, _ = features_for(dataset)
     y = dataset.labels(target)
     result = {}
     for n in sizes:
-        model = RandomForestClassifier(
-            n_estimators=n, min_samples_leaf=2, max_features="sqrt", random_state=0
+        report = cv_report_for(
+            dataset,
+            X,
+            y,
+            {"features": "tls", "target": target},
+            model_config=default_forest_config(n_estimators=n),
         )
-        report = cross_validate(model, X, y, n_splits=5)
         result[n] = {"accuracy": report.accuracy, "recall": report.recall}
     return result
 
 
+@experiment(
+    "ablations",
+    title="Ablations",
+    paper_ref="§3 (hyperparameters)",
+    description="Temporal-interval grid and forest-size sweeps",
+    order=130,
+)
 def main() -> dict:
     """Run and print both ablations."""
     intervals = interval_ablation()

@@ -29,21 +29,18 @@ import dataclasses
 
 import numpy as np
 
-from repro.collection.harness import collect_corpus
 from repro.experiments.common import (
     corpus_size,
-    default_forest,
+    cv_report_for,
+    features_for,
     format_percent,
     format_table,
+    profile_corpus,
 )
-from repro.features.tls_features import (
-    TLS_FEATURE_NAMES,
-    extract_tls_matrix,
-    feature_groups,
-)
+from repro.experiments.registry import experiment
+from repro.features.tls_features import TLS_FEATURE_NAMES, feature_groups
 from repro.has.abr import BolaAbr
 from repro.has.services import SERVICES, ServiceProfile
-from repro.ml.model_selection import cross_validate
 from repro.tlsproxy.hosts import ServiceHostModel
 
 __all__ = ["design_variants", "run", "main"]
@@ -89,11 +86,22 @@ def run(n_sessions: int | None = None, seed: int = 404) -> dict:
     result = {}
     sl_cols = _sl_columns()
     for name, profile in design_variants().items():
-        dataset = collect_corpus(profile, n_sessions, seed=seed)
-        X, _ = extract_tls_matrix(dataset)
+        dataset = profile_corpus(f"appdesign-{name}", profile, n_sessions, seed)
+        X, _ = features_for(dataset)
         y = dataset.labels("combined")
-        full = cross_validate(default_forest(), X, y, n_splits=5)
-        sl_only = cross_validate(default_forest(), X[:, sl_cols], y, n_splits=5)
+        full = cv_report_for(
+            dataset, X, y, {"features": "tls", "target": "combined"}
+        )
+        sl_only = cv_report_for(
+            dataset,
+            X[:, sl_cols],
+            y,
+            {
+                "features": "tls",
+                "groups": ("session_level",),
+                "target": "combined",
+            },
+        )
         result[name] = {
             "full_accuracy": full.accuracy,
             "full_recall": full.recall,
@@ -106,6 +114,13 @@ def run(n_sessions: int | None = None, seed: int = 404) -> dict:
     return result
 
 
+@experiment(
+    "appdesign",
+    title="Extension: application-design sensitivity",
+    paper_ref="§4.3, limitation #1",
+    description="What a single-connection design does to the features",
+    order=190,
+)
 def main() -> dict:
     """Run and print the application-design study."""
     result = run()

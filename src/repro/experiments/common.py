@@ -1,33 +1,69 @@
 """Shared infrastructure for the experiment drivers.
 
-Corpora are expensive (minutes at paper scale), so they are cached both
-in-process and on disk under ``.cache/`` next to the repository root.
-The cache key is (service, size, seed), and records round-trip through
-the dataset's JSON serialization, so a cached corpus is bit-identical
-to a fresh one.
+Every expensive intermediate the paper's figures and tables re-derive
+— the three service corpora, the 38-feature TLS matrices, ML16/flow
+matrices, cross-validation prediction vectors, forest importances — is
+an artifact of the content-addressed store (:mod:`repro.artifacts`,
+``REPRO_CACHE_DIR``, default ``.cache/``).  Drivers never call
+``collect_corpus``, ``extract_tls_matrix`` or ``cross_val_predict``
+directly; they go through the helpers here, which fingerprint each
+stage by (stage name, upstream artifact digests, config dict,
+``CACHE_VERSION``) so identical work is computed once per cache, ever.
+
+Datasets that came out of the store carry their artifact digest
+(:func:`dataset_digest`); helpers fed a digest-less dataset (the unit
+tests build tiny ad-hoc corpora) simply compute without caching — the
+cache is an optimization, never a requirement.
 
 Scale control: ``REPRO_SCALE`` (float, default 1.0) multiplies the
 paper's corpus sizes — ``REPRO_SCALE=0.2`` runs every experiment on a
 fifth of the data for quick iteration.
+
+Model configurations are plain dicts (``{"kind": "random_forest",
+...}``) so they can participate in fingerprints; :func:`build_model`
+turns one into an estimator.
 """
 
 from __future__ import annotations
 
-import os
-from pathlib import Path
+import sys
+from typing import Callable
 
 import numpy as np
 
-from repro.collection.dataset import Dataset
+from repro.artifacts import CACHE_VERSION, get_store
+from repro.collection.dataset import Dataset, DatasetFormatError
 from repro.collection.harness import collect_corpus
+from repro.features.packet_features import extract_ml16_matrix
+from repro.features.tls_features import (
+    TEMPORAL_INTERVALS,
+    extract_tls_matrix,
+    feature_names,
+)
 from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import EvalReport, evaluate_predictions
+from repro.ml.model_selection import cross_val_predict
 
 __all__ = [
+    "CACHE_VERSION",
     "PAPER_CORPUS_SIZES",
     "SERVICES",
     "scale",
     "corpus_size",
     "get_corpus",
+    "dataset_stage",
+    "profile_corpus",
+    "dataset_digest",
+    "features_for",
+    "ml16_features_for",
+    "flow_features_for",
+    "matrix_stage",
+    "cv_predictions_for",
+    "cv_report_for",
+    "fit_predictions_for",
+    "importances_for",
+    "default_forest_config",
+    "build_model",
     "default_forest",
     "format_table",
     "format_percent",
@@ -43,17 +79,11 @@ SERVICES = ("svc1", "svc2", "svc3")
 #: independent.
 _CORPUS_SEEDS = {"svc1": 101, "svc2": 202, "svc3": 303}
 
-#: Bump when simulator behaviour changes so stale disk caches are
-#: ignored (the key otherwise only encodes service/size/seed).
-#: v4: per-session ``SeedSequence.spawn`` RNG streams (parallel
-#: collection) replaced the shared sequential generator.
-CACHE_VERSION = 4
-
-_MEMORY_CACHE: dict[tuple[str, int, int], Dataset] = {}
-
 
 def scale() -> float:
     """The REPRO_SCALE environment knob (default 1.0)."""
+    import os
+
     value = float(os.environ.get("REPRO_SCALE", "1.0"))
     if value <= 0:
         raise ValueError("REPRO_SCALE must be positive")
@@ -65,10 +95,63 @@ def corpus_size(service: str) -> int:
     return max(60, int(round(PAPER_CORPUS_SIZES[service] * scale())))
 
 
-def _cache_dir() -> Path:
-    root = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".cache"))
-    root.mkdir(parents=True, exist_ok=True)
-    return root
+# ----------------------------------------------------------------------
+# Corpus artifacts
+
+
+class DatasetCodec:
+    """Corpora persist through the dataset's own (atomic) format."""
+
+    extension = ".json.gz"
+    load_errors = (OSError, DatasetFormatError)
+
+    def save(self, value: Dataset, path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        value.save(path)
+
+    def load(self, path) -> Dataset:
+        return Dataset.load(path)
+
+
+DATASET_CODEC = DatasetCodec()
+
+
+def dataset_digest(dataset: Dataset) -> str | None:
+    """The artifact digest a dataset was stored under, if any.
+
+    Only datasets produced by :func:`get_corpus` / :func:`dataset_stage`
+    carry one; ad-hoc corpora (unit tests, CLI files) return None and
+    downstream helpers skip caching for them.
+    """
+    return getattr(dataset, "_artifact_digest", None)
+
+
+def dataset_stage(
+    stage: str,
+    config: dict,
+    build: Callable[[], Dataset],
+    use_disk: bool = True,
+) -> Dataset:
+    """A corpus-valued artifact stage.
+
+    ``build`` runs on a miss; the resulting dataset is stored through
+    :class:`DatasetCodec`, tagged with its digest, and its columnar
+    transaction table is materialized once so every downstream consumer
+    shares one instance.
+    """
+    dataset, key = get_store().get_or_compute(
+        stage, config, build, codec=DATASET_CODEC, use_disk=use_disk
+    )
+    dataset._artifact_digest = key
+    dataset.tls_table()
+    return dataset
+
+
+def _legacy_corpus_path(service: str, n_sessions: int, seed: int):
+    """Pre-store cache location: flat (service, size, seed) files."""
+    from repro.artifacts import cache_dir
+
+    return cache_dir() / f"corpus-v{CACHE_VERSION}-{service}-{n_sessions}-{seed}.json.gz"
 
 
 def get_corpus(
@@ -77,44 +160,361 @@ def get_corpus(
     seed: int | None = None,
     use_disk_cache: bool = True,
 ) -> Dataset:
-    """The evaluation corpus for one service, cached.
+    """The evaluation corpus for one service — the ``corpus`` stage.
 
     ``n_sessions`` defaults to the paper's (scaled) corpus size and
-    ``seed`` to the service's canonical collection seed.
+    ``seed`` to the service's canonical collection seed.  Corpora
+    cached by earlier versions under the flat ``(service, size, seed)``
+    naming are adopted into the store transparently; an unreadable
+    legacy file is ignored with a one-line warning, never an error.
     """
     if n_sessions is None:
         n_sessions = corpus_size(service)
     if seed is None:
         seed = _CORPUS_SEEDS[service]
-    key = (service, n_sessions, seed)
-    if key in _MEMORY_CACHE:
-        return _MEMORY_CACHE[key]
-    path = _cache_dir() / f"corpus-v{CACHE_VERSION}-{service}-{n_sessions}-{seed}.json.gz"
-    if use_disk_cache and path.exists():
-        dataset = Dataset.load(path)
-    else:
-        dataset = collect_corpus(service, n_sessions, seed=seed)
-        if use_disk_cache:
-            # Dataset.save writes to a temp file and os.replace()s it,
-            # so concurrent benchmark/experiment runs racing on the
-            # same key never observe a truncated corpus.
-            dataset.save(path)
-    # Materialize the columnar transaction table once per corpus
-    # (format-3 loads already carry it) so every downstream consumer —
-    # feature extraction, experiments, CLI — shares one instance.
-    dataset.tls_table()
-    _MEMORY_CACHE[key] = dataset
-    return dataset
+
+    def build() -> Dataset:
+        legacy = _legacy_corpus_path(service, n_sessions, seed)
+        if use_disk_cache and legacy.exists():
+            try:
+                return Dataset.load(legacy)
+            except (OSError, DatasetFormatError) as exc:
+                print(
+                    f"warning: ignoring unreadable legacy corpus cache "
+                    f"{legacy}: {exc}",
+                    file=sys.stderr,
+                )
+        return collect_corpus(service, n_sessions, seed=seed)
+
+    return dataset_stage(
+        "corpus",
+        {"service": service, "n_sessions": n_sessions, "seed": seed},
+        build,
+        use_disk=use_disk_cache,
+    )
+
+
+def profile_corpus(
+    variant: str, profile, n_sessions: int, seed: int
+) -> Dataset:
+    """A corpus collected on a non-standard service profile.
+
+    Profiles hold callables, so they cannot be fingerprinted
+    structurally; the caller names the variant instead and owns keeping
+    that name honest (same contract as ``CACHE_VERSION``).
+    """
+    return dataset_stage(
+        "corpus-variant",
+        {"variant": variant, "n_sessions": n_sessions, "seed": seed},
+        lambda: collect_corpus(profile, n_sessions, seed=seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Feature artifacts
+
+
+def features_for(
+    dataset: Dataset, intervals: tuple[int, ...] = TEMPORAL_INTERVALS
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """The TLS feature matrix of a corpus — the ``tls-features`` stage."""
+    names = feature_names(intervals)
+    key = dataset_digest(dataset)
+    if key is None:
+        return extract_tls_matrix(dataset, intervals=intervals)
+    value, _ = get_store().get_or_compute(
+        "tls-features",
+        {"intervals": intervals},
+        lambda: {"X": extract_tls_matrix(dataset, intervals=intervals)[0]},
+        deps=(key,),
+    )
+    return value["X"], names
+
+
+def ml16_features_for(
+    dataset: Dataset, seed: int = 0
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """The ML16 packet-trace feature matrix — ``ml16-features`` stage."""
+    from repro.features.packet_features import ML16_FEATURE_NAMES
+
+    key = dataset_digest(dataset)
+    if key is None:
+        return extract_ml16_matrix(dataset, seed=seed)
+    value, _ = get_store().get_or_compute(
+        "ml16-features",
+        {"seed": seed},
+        lambda: {"X": extract_ml16_matrix(dataset, seed=seed)[0]},
+        deps=(key,),
+    )
+    return value["X"], ML16_FEATURE_NAMES
+
+
+def flow_features_for(dataset: Dataset, config=None) -> tuple[np.ndarray, tuple[str, ...]]:
+    """The NetFlow feature matrix — ``flow-features`` stage."""
+    import dataclasses
+
+    from repro.netflow.features import FLOW_FEATURE_NAMES, extract_flow_matrix
+
+    key = dataset_digest(dataset)
+    if key is None:
+        return extract_flow_matrix(dataset, config)
+    exporter = dataclasses.asdict(config) if config is not None else "default"
+    value, _ = get_store().get_or_compute(
+        "flow-features",
+        {"exporter": exporter},
+        lambda: {"X": extract_flow_matrix(dataset, config)[0]},
+        deps=(key,),
+    )
+    return value["X"], FLOW_FEATURE_NAMES
+
+
+def matrix_stage(
+    dataset: Dataset,
+    stage: str,
+    config: dict,
+    build: Callable[[], dict[str, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """A driver-specific dict-of-arrays artifact derived from a corpus.
+
+    For derived matrices the generic helpers do not cover (e.g. the
+    partial-session prefix features).  ``config`` must uniquely
+    describe the derivation given the corpus.
+    """
+    if dataset_digest(dataset) is None:
+        return build()
+    value, _ = get_store().get_or_compute(
+        stage, config, build, deps=(dataset_digest(dataset),)
+    )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Model configurations
+
+
+def default_forest_config(
+    n_estimators: int = 60, random_state: int = 0
+) -> dict:
+    """The paper's Random Forest, as a fingerprintable config dict."""
+    return {
+        "kind": "random_forest",
+        "n_estimators": n_estimators,
+        "min_samples_leaf": 2,
+        "max_features": "sqrt",
+        "random_state": random_state,
+    }
+
+
+def _build_forest(params: dict) -> RandomForestClassifier:
+    return RandomForestClassifier(**params)
+
+
+def _build_boosting(params: dict):
+    from repro.ml.boosting import GradientBoostingClassifier
+
+    return GradientBoostingClassifier(**params)
+
+
+def _build_knn(params: dict):
+    from repro.ml.knn import KNeighborsClassifier
+
+    return KNeighborsClassifier(**params)
+
+
+def _build_mlp(params: dict):
+    from repro.ml.mlp import MLPClassifier
+
+    params = dict(params)
+    params["hidden_layer_sizes"] = tuple(params["hidden_layer_sizes"])
+    return MLPClassifier(**params)
+
+
+def _build_svc(params: dict):
+    from repro.ml.svm import LinearSVC
+
+    return LinearSVC(**params)
+
+
+_MODEL_BUILDERS = {
+    "random_forest": _build_forest,
+    "gradient_boosting": _build_boosting,
+    "knn": _build_knn,
+    "mlp": _build_mlp,
+    "linear_svc": _build_svc,
+}
+
+
+def build_model(config: dict):
+    """Instantiate the estimator a model config describes."""
+    params = dict(config)
+    kind = params.pop("kind", None)
+    builder = _MODEL_BUILDERS.get(kind)
+    if builder is None:
+        raise ValueError(
+            f"unknown model kind {kind!r} "
+            f"(choose from {sorted(_MODEL_BUILDERS)})"
+        )
+    return builder(params)
 
 
 def default_forest(random_state: int = 0) -> RandomForestClassifier:
     """The Random Forest configuration used across experiments."""
-    return RandomForestClassifier(
-        n_estimators=60,
-        min_samples_leaf=2,
-        max_features="sqrt",
-        random_state=random_state,
+    return build_model(default_forest_config(random_state=random_state))
+
+
+# ----------------------------------------------------------------------
+# Cross-validation / prediction artifacts
+
+
+def cv_predictions_for(
+    dataset: Dataset,
+    X: np.ndarray,
+    y: np.ndarray,
+    stage_config: dict,
+    model_config: dict | None = None,
+    n_splits: int = 5,
+    random_state: int | None = 0,
+    n_jobs: int | None = None,
+) -> np.ndarray:
+    """Out-of-fold predictions — the ``cv-predictions`` stage.
+
+    ``stage_config`` must uniquely describe how ``(X, y)`` derive from
+    the corpus (feature family, column subset, target, ...); the model
+    config, fold count and fold seed are appended automatically.  The
+    computation itself is :func:`~repro.ml.model_selection.cross_val_predict`
+    (deterministic for any worker count), so a cached vector is
+    bit-identical to a fresh one.
+    """
+    if model_config is None:
+        model_config = default_forest_config()
+    estimator = build_model(model_config)
+    key = dataset_digest(dataset)
+    if key is None:
+        return cross_val_predict(
+            estimator, X, y, n_splits=n_splits, random_state=random_state,
+            n_jobs=n_jobs,
+        )
+    value, _ = get_store().get_or_compute(
+        "cv-predictions",
+        {
+            "derivation": stage_config,
+            "model": model_config,
+            "n_splits": n_splits,
+            "random_state": random_state,
+        },
+        lambda: {
+            "y_pred": cross_val_predict(
+                estimator, X, y, n_splits=n_splits,
+                random_state=random_state, n_jobs=n_jobs,
+            )
+        },
+        deps=(key,),
     )
+    return value["y_pred"]
+
+
+def cv_report_for(
+    dataset: Dataset,
+    X: np.ndarray,
+    y: np.ndarray,
+    stage_config: dict,
+    model_config: dict | None = None,
+    n_splits: int = 5,
+    positive: int = 0,
+    random_state: int | None = 0,
+    n_jobs: int | None = None,
+) -> EvalReport:
+    """The paper's k-fold A/R/P evaluation over cached predictions."""
+    y_pred = cv_predictions_for(
+        dataset, X, y, stage_config, model_config=model_config,
+        n_splits=n_splits, random_state=random_state, n_jobs=n_jobs,
+    )
+    n_classes = int(np.asarray(y).max()) + 1
+    return evaluate_predictions(
+        y, y_pred, positive=positive, n_classes=max(n_classes, 3)
+    )
+
+
+def fit_predictions_for(
+    train: Dataset,
+    test: Dataset,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    stage_config: dict,
+    model_config: dict | None = None,
+) -> np.ndarray:
+    """Train-on-A / predict-on-B — the ``transfer-predictions`` stage."""
+    if model_config is None:
+        model_config = default_forest_config()
+
+    def build() -> dict[str, np.ndarray]:
+        model = build_model(model_config)
+        model.fit(X_train, y_train)
+        return {"y_pred": model.predict(X_test)}
+
+    train_key = dataset_digest(train)
+    test_key = dataset_digest(test)
+    if train_key is None or test_key is None:
+        return build()["y_pred"]
+    value, _ = get_store().get_or_compute(
+        "transfer-predictions",
+        {"derivation": stage_config, "model": model_config},
+        build,
+        deps=(train_key, test_key),
+    )
+    return value["y_pred"]
+
+
+def importances_for(
+    dataset: Dataset,
+    target: str = "combined",
+    model_config: dict | None = None,
+    method: str = "gini",
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+) -> np.ndarray:
+    """Forest feature importances — the ``importances`` stage.
+
+    ``method`` selects Gini impurity decrease (what the paper's Random
+    Forest reports) or permutation importance (a robustness
+    cross-check; slower).
+    """
+    if model_config is None:
+        model_config = default_forest_config()
+    if method not in ("gini", "permutation"):
+        raise ValueError(f"unknown importance method {method!r}")
+
+    def build() -> dict[str, np.ndarray]:
+        X, _ = features_for(dataset, intervals=intervals)
+        y = dataset.labels(target)
+        model = build_model(model_config).fit(X, y)
+        if method == "gini":
+            importances = model.feature_importances_
+        else:
+            from repro.ml.importance import permutation_importance
+
+            importances = permutation_importance(model, X, y, n_repeats=3)
+        return {"importances": np.asarray(importances, dtype=np.float64)}
+
+    key = dataset_digest(dataset)
+    if key is None:
+        return build()["importances"]
+    value, _ = get_store().get_or_compute(
+        "importances",
+        {
+            "target": target,
+            "model": model_config,
+            "method": method,
+            "intervals": intervals,
+        },
+        build,
+        deps=(key,),
+    )
+    return value["importances"]
+
+
+# ----------------------------------------------------------------------
+# Report formatting
 
 
 def format_percent(value: float) -> str:

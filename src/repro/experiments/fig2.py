@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import format_table, get_corpus
+from repro.experiments.registry import experiment
 
 __all__ = ["run", "main"]
 
@@ -66,6 +67,13 @@ def run(dataset: Dataset | None = None, window_s: float = 5.0) -> dict:
     }
 
 
+@experiment(
+    "fig2",
+    title="Figure 2",
+    paper_ref="§3.1, Fig. 2",
+    description="TLS transactions vs the HTTP transactions inside them",
+    order=10,
+)
 def main() -> dict:
     """Run and print Figure 2's numbers."""
     result = run()

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import SERVICES, format_table, get_corpus
+from repro.experiments.registry import experiment
 
 __all__ = ["run", "main", "DURATION_BUCKETS"]
 
@@ -47,6 +48,13 @@ def run(datasets: dict[str, object] | None = None) -> dict:
     }
 
 
+@experiment(
+    "fig3",
+    title="Figure 3",
+    paper_ref="§4.1, Fig. 3",
+    description="Bandwidth-trace CDF and session-duration buckets",
+    order=20,
+)
 def main() -> dict:
     """Run and print Figure 3's numbers."""
     result = run()

@@ -10,6 +10,7 @@ Svc1 degrades *quality* while Svc2 (and to a lesser extent Svc3)
 from __future__ import annotations
 
 from repro.experiments.common import SERVICES, format_table, get_corpus
+from repro.experiments.registry import experiment
 from repro.qoe.metrics import COMBINED_NAMES, QUALITY_NAMES, REBUFFERING_NAMES
 
 __all__ = ["run", "main"]
@@ -34,6 +35,13 @@ def run(datasets: dict[str, object] | None = None) -> dict:
     return result
 
 
+@experiment(
+    "fig4",
+    title="Figure 4",
+    paper_ref="§4.1, Fig. 4",
+    description="Ground-truth QoE category distributions per service",
+    order=30,
+)
 def main() -> dict:
     """Run and print Figure 4's numbers."""
     result = run()

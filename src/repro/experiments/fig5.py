@@ -16,15 +16,15 @@ from __future__ import annotations
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
     SERVICES,
-    default_forest,
+    cv_predictions_for,
+    default_forest_config,
+    features_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
-from repro.ml.model_selection import cross_val_predict
+from repro.experiments.registry import experiment
 from repro.ml.metrics import evaluate_predictions
-from repro.parallel import parallel_map
 
 __all__ = ["run", "run_service", "main", "PAPER_RECALL"]
 
@@ -54,14 +54,20 @@ def run_service(
     Also returns the out-of-fold predictions so downstream experiments
     (Table 2's confusion matrix) can reuse them without retraining.
     """
-    X, _ = extract_tls_matrix(dataset)
+    X, _ = features_for(dataset)
+    model_config = default_forest_config()
+    if n_estimators is not None:
+        model_config["n_estimators"] = n_estimators
     result: dict = {}
     for target in targets:
         y = dataset.labels(target)
-        model = default_forest()
-        if n_estimators is not None:
-            model.n_estimators = n_estimators
-        y_pred = cross_val_predict(model, X, y, n_splits=5)
+        y_pred = cv_predictions_for(
+            dataset,
+            X,
+            y,
+            {"features": "tls", "target": target},
+            model_config=model_config,
+        )
         report = evaluate_predictions(y, y_pred, positive=0)
         result[target] = {
             "accuracy": report.accuracy,
@@ -74,35 +80,29 @@ def run_service(
     return result
 
 
-def _run_service_task(task: tuple[Dataset, tuple[str, ...]]) -> dict:
-    """One service's evaluation (runs inside a pool worker)."""
-    dataset, targets = task
-    return run_service(dataset, targets)
-
-
 def run(
     datasets: dict[str, Dataset] | None = None,
     targets: tuple[str, ...] = TARGETS,
-    n_jobs: int | None = None,
 ) -> dict:
     """Figure 5 for every service.
 
-    Corpora are materialized first (collection is itself
-    session-parallel), then the per-service train/evaluate loops run
-    through the process pool; workers stay internally sequential.
+    Corpus collection and the fold loops inside
+    :func:`~repro.experiments.common.cv_predictions_for` are
+    parallel (``REPRO_JOBS``); the service loop itself stays in this
+    process so every prediction vector lands in the artifact store.
     """
     if datasets is None:
         datasets = {svc: get_corpus(svc) for svc in SERVICES}
-    services = list(datasets)
-    results = parallel_map(
-        _run_service_task,
-        [(datasets[svc], targets) for svc in services],
-        n_jobs=n_jobs,
-        chunksize=1,
-    )
-    return dict(zip(services, results))
+    return {svc: run_service(ds, targets) for svc, ds in datasets.items()}
 
 
+@experiment(
+    "fig5",
+    title="Figure 5",
+    paper_ref="§4.2, Fig. 5",
+    description="A/R/P per QoE metric from the 38 TLS features",
+    order=40,
+)
 def main() -> dict:
     """Run and print Figure 5's numbers."""
     result = run()

@@ -10,8 +10,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.collection.dataset import Dataset
-from repro.experiments.common import SERVICES, default_forest, format_table, get_corpus
-from repro.features.tls_features import TLS_FEATURE_NAMES, extract_tls_matrix
+from repro.experiments.common import (
+    SERVICES,
+    format_table,
+    get_corpus,
+    importances_for,
+)
+from repro.experiments.registry import experiment
+from repro.features.tls_features import TLS_FEATURE_NAMES
 
 __all__ = ["run", "main", "PAPER_COMMON_FEATURES"]
 
@@ -31,17 +37,8 @@ def run_service(
     Forest reports) or permutation importance (a robustness
     cross-check; slower).
     """
-    X, names = extract_tls_matrix(dataset)
-    y = dataset.labels(target)
-    forest = default_forest().fit(X, y)
-    if method == "gini":
-        importances = forest.feature_importances_
-    elif method == "permutation":
-        from repro.ml.importance import permutation_importance
-
-        importances = permutation_importance(forest, X, y, n_repeats=3)
-    else:
-        raise ValueError(f"unknown importance method {method!r}")
+    importances = importances_for(dataset, target=target, method=method)
+    names = TLS_FEATURE_NAMES
     order = np.argsort(importances)[::-1][:top_k]
     return {
         "top_features": [names[i] for i in order],
@@ -73,6 +70,13 @@ def run(
     }
 
 
+@experiment(
+    "fig6",
+    title="Figure 6",
+    paper_ref="§4.3, Fig. 6",
+    description="Top-10 Random-Forest feature importances per service",
+    order=70,
+)
 def main() -> dict:
     """Run and print Figure 6."""
     result = run()

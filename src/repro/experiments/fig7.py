@@ -21,8 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.collection.dataset import Dataset
-from repro.experiments.common import format_table, get_corpus
-from repro.features.tls_features import extract_tls_matrix
+from repro.experiments.common import features_for, format_table, get_corpus
+from repro.experiments.registry import experiment
 
 __all__ = ["run", "run_panel", "main"]
 
@@ -38,7 +38,7 @@ def run_panel(
 ) -> dict:
     """One panel: per-QoE-class quartiles of ``feature`` for matched
     sessions."""
-    X, names = extract_tls_matrix(dataset)
+    X, names = features_for(dataset)
     if feature not in names:
         raise ValueError(f"unknown feature {feature!r}")
     col = names.index(feature)
@@ -84,6 +84,13 @@ def run(datasets: dict[str, Dataset] | None = None) -> dict:
     }
 
 
+@experiment(
+    "fig7",
+    title="Figure 7",
+    paper_ref="§4.3, Fig. 7",
+    description="Feature distributions among session-level-matched sessions",
+    order=80,
+)
 def main() -> dict:
     """Run and print Figure 7."""
     result = run()

@@ -17,14 +17,15 @@ from __future__ import annotations
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
     SERVICES,
-    default_forest,
+    cv_report_for,
+    features_for,
+    fit_predictions_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
+from repro.experiments.registry import experiment
 from repro.ml.metrics import evaluate_predictions
-from repro.ml.model_selection import cross_validate
 
 __all__ = ["run", "main"]
 
@@ -33,7 +34,7 @@ def run(datasets: dict[str, Dataset] | None = None, target: str = "combined") ->
     """Train-on-A / test-on-B accuracy and low-QoE recall matrix."""
     if datasets is None:
         datasets = {svc: get_corpus(svc) for svc in SERVICES}
-    features = {svc: extract_tls_matrix(ds)[0] for svc, ds in datasets.items()}
+    features = {svc: features_for(ds)[0] for svc, ds in datasets.items()}
     labels = {svc: ds.labels(target) for svc, ds in datasets.items()}
 
     matrix: dict[str, dict[str, dict]] = {}
@@ -41,13 +42,21 @@ def run(datasets: dict[str, Dataset] | None = None, target: str = "combined") ->
         matrix[train_svc] = {}
         for test_svc in datasets:
             if train_svc == test_svc:
-                report = cross_validate(
-                    default_forest(), features[train_svc], labels[train_svc]
+                report = cv_report_for(
+                    datasets[train_svc],
+                    features[train_svc],
+                    labels[train_svc],
+                    {"features": "tls", "target": target},
                 )
             else:
-                model = default_forest()
-                model.fit(features[train_svc], labels[train_svc])
-                y_pred = model.predict(features[test_svc])
+                y_pred = fit_predictions_for(
+                    datasets[train_svc],
+                    datasets[test_svc],
+                    features[train_svc],
+                    labels[train_svc],
+                    features[test_svc],
+                    {"features": "tls", "target": target},
+                )
                 report = evaluate_predictions(labels[test_svc], y_pred)
             matrix[train_svc][test_svc] = {
                 "accuracy": report.accuracy,
@@ -56,6 +65,13 @@ def run(datasets: dict[str, Dataset] | None = None, target: str = "combined") ->
     return matrix
 
 
+@experiment(
+    "generalization",
+    title="Extension: cross-service generalization",
+    paper_ref="§5 (future work)",
+    description="Train-service x test-service accuracy matrix",
+    order=150,
+)
 def main() -> dict:
     """Run and print the generalization matrix."""
     result = run()

@@ -20,20 +20,24 @@ from __future__ import annotations
 
 import numpy as np
 
+import dataclasses
+
 from repro.collection.dataset import Dataset, SessionRecord
 from repro.collection.harness import CollectionConfig
 from repro.experiments.common import (
     corpus_size,
-    default_forest,
+    cv_report_for,
+    dataset_stage,
+    features_for,
+    fit_predictions_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
+from repro.experiments.registry import experiment
 from repro.has.player import PlayerSession, UserBehavior
 from repro.has.services import get_service
 from repro.ml.metrics import evaluate_predictions
-from repro.ml.model_selection import cross_validate
 from repro.net.link import Link
 
 __all__ = ["collect_interactive_corpus", "run", "main", "DEFAULT_BEHAVIOR"]
@@ -85,19 +89,31 @@ def run(
     """Accuracy under the three train/test protocols."""
     clean = clean if clean is not None else get_corpus(service)
     if interactive is None:
-        interactive = collect_interactive_corpus(
-            service, corpus_size(service), seed=777
+        n_sessions = corpus_size(service)
+        interactive = dataset_stage(
+            "corpus-interactive",
+            {
+                "service": service,
+                "n_sessions": n_sessions,
+                "seed": 777,
+                "behavior": dataclasses.asdict(DEFAULT_BEHAVIOR),
+            },
+            lambda: collect_interactive_corpus(service, n_sessions, seed=777),
         )
-    X_clean, _ = extract_tls_matrix(clean)
+    X_clean, _ = features_for(clean)
     y_clean = clean.labels(target)
-    X_inter, _ = extract_tls_matrix(interactive)
+    X_inter, _ = features_for(interactive)
     y_inter = interactive.labels(target)
 
-    baseline = cross_validate(default_forest(), X_clean, y_clean)
-    matched = cross_validate(default_forest(), X_inter, y_inter)
-    transfer_model = default_forest()
-    transfer_model.fit(X_clean, y_clean)
-    transfer = evaluate_predictions(y_inter, transfer_model.predict(X_inter))
+    stage = {"features": "tls", "target": target}
+    baseline = cv_report_for(clean, X_clean, y_clean, stage)
+    matched = cv_report_for(interactive, X_inter, y_inter, stage)
+    transfer = evaluate_predictions(
+        y_inter,
+        fit_predictions_for(
+            clean, interactive, X_clean, y_clean, X_inter, stage
+        ),
+    )
 
     return {
         "clean->clean": {"accuracy": baseline.accuracy, "recall": baseline.recall},
@@ -116,6 +132,13 @@ def run(
     }
 
 
+@experiment(
+    "interactions",
+    title="Extension: user interactions",
+    paper_ref="§5, limitation #2",
+    description="Pause/seek behaviour vs inference accuracy",
+    order=160,
+)
 def main() -> dict:
     """Run and print the interaction study."""
     result = run()

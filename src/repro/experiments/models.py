@@ -11,70 +11,81 @@ from __future__ import annotations
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
-    default_forest,
+    cv_report_for,
+    default_forest_config,
+    features_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
-from repro.ml.boosting import GradientBoostingClassifier
-from repro.ml.knn import KNeighborsClassifier
-from repro.ml.mlp import MLPClassifier
-from repro.ml.model_selection import cross_validate
-from repro.ml.svm import LinearSVC
-from repro.parallel import parallel_map
+from repro.experiments.registry import experiment
 
 __all__ = ["run", "main", "model_zoo"]
 
 
-def model_zoo() -> dict:
-    """The paper's five model families, reasonably configured."""
+def model_zoo() -> dict[str, dict]:
+    """The paper's five model families, as fingerprintable configs
+    (:func:`~repro.experiments.common.build_model` instantiates one)."""
     return {
-        "RandomForest": default_forest(),
-        "XGBoost-style GBT": GradientBoostingClassifier(
-            n_estimators=60, max_depth=4, learning_rate=0.1, subsample=0.8,
-            random_state=0,
-        ),
-        "k-NN": KNeighborsClassifier(n_neighbors=9),
-        "MLP": MLPClassifier(hidden_layer_sizes=(64, 32), max_epochs=80, random_state=0),
-        "LinearSVC": LinearSVC(C=1.0, max_epochs=25, random_state=0),
+        "RandomForest": default_forest_config(),
+        "XGBoost-style GBT": {
+            "kind": "gradient_boosting",
+            "n_estimators": 60,
+            "max_depth": 4,
+            "learning_rate": 0.1,
+            "subsample": 0.8,
+            "random_state": 0,
+        },
+        "k-NN": {"kind": "knn", "n_neighbors": 9},
+        "MLP": {
+            "kind": "mlp",
+            "hidden_layer_sizes": (64, 32),
+            "max_epochs": 80,
+            "random_state": 0,
+        },
+        "LinearSVC": {
+            "kind": "linear_svc",
+            "C": 1.0,
+            "max_epochs": 25,
+            "random_state": 0,
+        },
     }
 
 
-def _eval_model_task(task) -> dict:
-    """Cross-validate one model family (runs inside a pool worker)."""
-    model, X, y = task
-    report = cross_validate(model, X, y, n_splits=5)
-    return {
-        "accuracy": report.accuracy,
-        "recall": report.recall,
-        "precision": report.precision,
-    }
-
-
-def run(
-    dataset: Dataset | None = None,
-    target: str = "combined",
-    n_jobs: int | None = None,
-) -> dict:
+def run(dataset: Dataset | None = None, target: str = "combined") -> dict:
     """A/R/P per model family on one service's corpus.
 
-    The five families are independent, so they run through the process
-    pool (``n_jobs``; defaults to ``REPRO_JOBS``).
+    Each family's prediction vector is an artifact keyed by its config,
+    so re-running the sweep (or any other experiment sharing a family)
+    trains nothing twice.
     """
     dataset = dataset if dataset is not None else get_corpus("svc1")
-    X, _ = extract_tls_matrix(dataset)
+    X, _ = features_for(dataset)
     y = dataset.labels(target)
-    zoo = model_zoo()
-    reports = parallel_map(
-        _eval_model_task,
-        [(model, X, y) for model in zoo.values()],
-        n_jobs=n_jobs,
-        chunksize=1,
-    )
-    return dict(zip(zoo.keys(), reports))
+    result = {}
+    for name, config in model_zoo().items():
+        report = cv_report_for(
+            dataset,
+            X,
+            y,
+            {"features": "tls", "target": target},
+            model_config=config,
+        )
+        result[name] = {
+            "accuracy": report.accuracy,
+            "recall": report.recall,
+            "precision": report.precision,
+        }
+    return result
 
 
+@experiment(
+    "models",
+    title="Model sweep",
+    paper_ref="§4.2 (results omitted in the paper)",
+    description="Five model families compared on combined QoE",
+    order=120,
+)
 def main() -> dict:
     """Run and print the model sweep."""
     result = run()

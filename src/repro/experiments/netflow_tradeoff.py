@@ -18,16 +18,16 @@ import numpy as np
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
     SERVICES,
-    default_forest,
+    cv_report_for,
+    features_for,
+    flow_features_for,
     format_percent,
     format_table,
     get_corpus,
+    ml16_features_for,
 )
-from repro.features.packet_features import extract_ml16_matrix
-from repro.features.tls_features import extract_tls_matrix
-from repro.ml.model_selection import cross_validate
+from repro.experiments.registry import experiment
 from repro.netflow.exporter import export_flows
-from repro.netflow.features import extract_flow_matrix
 
 __all__ = ["run", "run_service", "main"]
 
@@ -37,8 +37,8 @@ def run_service(dataset: Dataset, target: str = "combined") -> dict:
     y = dataset.labels(target)
     result = {}
 
-    X_tls, _ = extract_tls_matrix(dataset)
-    tls = cross_validate(default_forest(), X_tls, y, n_splits=5)
+    X_tls, _ = features_for(dataset)
+    tls = cv_report_for(dataset, X_tls, y, {"features": "tls", "target": target})
     result["tls"] = {
         "accuracy": tls.accuracy,
         "recall": tls.recall,
@@ -47,8 +47,8 @@ def run_service(dataset: Dataset, target: str = "combined") -> dict:
         ),
     }
 
-    X_flow, _ = extract_flow_matrix(dataset)
-    flow = cross_validate(default_forest(), X_flow, y, n_splits=5)
+    X_flow, _ = flow_features_for(dataset)
+    flow = cv_report_for(dataset, X_flow, y, {"features": "flow", "target": target})
     result["netflow"] = {
         "accuracy": flow.accuracy,
         "recall": flow.recall,
@@ -57,8 +57,8 @@ def run_service(dataset: Dataset, target: str = "combined") -> dict:
         ),
     }
 
-    X_pkt, _ = extract_ml16_matrix(dataset)
-    pkt = cross_validate(default_forest(), X_pkt, y, n_splits=5)
+    X_pkt, _ = ml16_features_for(dataset)
+    pkt = cv_report_for(dataset, X_pkt, y, {"features": "ml16", "target": target})
     result["packets"] = {
         "accuracy": pkt.accuracy,
         "recall": pkt.recall,
@@ -74,6 +74,13 @@ def run(datasets: dict[str, Dataset] | None = None) -> dict:
     return {svc: run_service(ds) for svc, ds in datasets.items()}
 
 
+@experiment(
+    "netflow_tradeoff",
+    title="Extension: NetFlow trade-off",
+    paper_ref="§5 (proposed future data source)",
+    description="Accuracy vs granularity: TLS vs flow records vs packets",
+    order=140,
+)
 def main() -> dict:
     """Run and print the spectrum."""
     result = run()

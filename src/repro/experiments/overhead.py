@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import format_table, get_corpus
+from repro.experiments.registry import experiment
 from repro.features.packet_features import extract_ml16_features
 from repro.features.tls_features import extract_tls_features
 
@@ -57,6 +58,13 @@ def run(dataset: Dataset | None = None) -> dict:
     }
 
 
+@experiment(
+    "overhead",
+    title="Overhead",
+    paper_ref="§4.2",
+    description="Record-count and compute overhead: packets vs TLS",
+    order=110,
+)
 def main() -> dict:
     """Run and print the overhead comparison."""
     result = run()

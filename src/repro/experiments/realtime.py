@@ -20,13 +20,14 @@ import numpy as np
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
-    default_forest,
+    cv_report_for,
     format_percent,
     format_table,
     get_corpus,
+    matrix_stage,
 )
+from repro.experiments.registry import experiment
 from repro.features.tls_features import extract_tls_features
-from repro.ml.model_selection import cross_validate
 from repro.tlsproxy.records import TlsTransaction
 
 __all__ = ["WINDOWS_S", "prefix_features", "run", "main"]
@@ -58,24 +59,39 @@ def run(dataset: Dataset | None = None, target: str = "combined") -> dict:
     y_all = dataset.labels(target)
     result = {}
     for window in WINDOWS_S:
-        rows = []
-        keep = []
-        for i, record in enumerate(dataset):
-            vector = prefix_features(record.tls_transactions, window)
-            if vector is not None:
-                rows.append(vector)
-                keep.append(i)
-        coverage = len(keep) / len(dataset)
+
+        def build(window=window) -> dict[str, np.ndarray]:
+            rows = []
+            keep = []
+            for i, record in enumerate(dataset):
+                vector = prefix_features(record.tls_transactions, window)
+                if vector is not None:
+                    rows.append(vector)
+                    keep.append(i)
+            return {
+                "X": np.vstack(rows) if rows else np.empty((0, 0)),
+                "keep": np.array(keep, dtype=np.int64),
+            }
+
+        prefix = matrix_stage(
+            dataset, "tls-prefix-features", {"window": window}, build
+        )
+        X, keep = prefix["X"], prefix["keep"]
+        coverage = keep.size / len(dataset)
         label = "full" if window is None else f"{window:.0f}s"
-        if len(keep) < 30 or np.unique(y_all[keep]).size < 2:
+        if keep.size < 30 or np.unique(y_all[keep]).size < 2:
             result[label] = {
                 "accuracy": float("nan"),
                 "recall": float("nan"),
                 "coverage": coverage,
             }
             continue
-        X = np.vstack(rows)
-        report = cross_validate(default_forest(), X, y_all[keep], n_splits=5)
+        report = cv_report_for(
+            dataset,
+            X,
+            y_all[keep],
+            {"features": "tls-prefix", "window": window, "target": target},
+        )
         result[label] = {
             "accuracy": report.accuracy,
             "recall": report.recall,
@@ -84,6 +100,13 @@ def run(dataset: Dataset | None = None, target: str = "combined") -> dict:
     return result
 
 
+@experiment(
+    "realtime",
+    title="Extension: partial-session detection",
+    paper_ref="§5, limitation #3",
+    description="Accuracy vs observation-window length",
+    order=170,
+)
 def main() -> dict:
     """Run and print the detection-latency curve."""
     result = run()

@@ -1,0 +1,151 @@
+"""Declarative experiment registry.
+
+Every experiment driver registers itself at import time by decorating
+its ``main()``::
+
+    @experiment(
+        "fig5",
+        title="Figure 5",
+        paper_ref="§4.2, Fig. 5",
+        description="Accuracy/recall/precision per QoE metric",
+        order=40,
+    )
+    def main() -> dict: ...
+
+``run_all``, ``python -m repro experiment`` and the benchmark suite
+all consume this registry instead of maintaining their own module
+lists, so adding an experiment module is one decorator — no list to
+forget to update.  ``order`` fixes the paper presentation order
+(figures/tables first, extensions after); :func:`all_experiments`
+returns specs sorted by it.
+
+Registration names must match the defining module's basename — that is
+what makes ``python -m repro experiment <name>`` and the registry
+agree — and are enforced unique.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "Experiment",
+    "UnknownExperimentError",
+    "all_experiments",
+    "experiment",
+    "get",
+    "load_all",
+    "names",
+]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment driver."""
+
+    name: str
+    title: str
+    paper_ref: str
+    description: str
+    run: Callable[[], object]
+    order: int
+
+    @property
+    def module(self) -> str:
+        return self.run.__module__
+
+
+class UnknownExperimentError(KeyError):
+    """Lookup of a name no driver registered."""
+
+    def __init__(self, name: str, valid: tuple[str, ...]):
+        super().__init__(name)
+        self.name = name
+        self.valid = valid
+
+    def __str__(self) -> str:
+        return (
+            f"unknown experiment {self.name!r}; "
+            f"valid choices: {', '.join(self.valid)}"
+        )
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+#: Modules in this package that are infrastructure, not drivers.
+_NON_DRIVER_MODULES = frozenset({"common", "registry", "run_all"})
+
+
+def experiment(
+    name: str,
+    *,
+    title: str,
+    paper_ref: str,
+    description: str,
+    order: int,
+) -> Callable[[Callable[[], object]], Callable[[], object]]:
+    """Register the decorated function as experiment ``name``'s entry
+    point.  The function itself is returned unchanged."""
+
+    def decorate(run: Callable[[], object]) -> Callable[[], object]:
+        expected_module = f"{__package__}.{name}"
+        if run.__module__ != expected_module:
+            raise ValueError(
+                f"experiment {name!r} must be registered from "
+                f"{expected_module}, not {run.__module__}"
+            )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.run is not run:
+            raise ValueError(f"experiment name {name!r} registered twice")
+        spec = Experiment(
+            name=name,
+            title=title,
+            paper_ref=paper_ref,
+            description=description,
+            run=run,
+            order=order,
+        )
+        clash = next(
+            (e for e in _REGISTRY.values() if e.order == order and e.name != name),
+            None,
+        )
+        if clash is not None:
+            raise ValueError(
+                f"experiments {name!r} and {clash.name!r} share order {order}"
+            )
+        _REGISTRY[name] = spec
+        return run
+
+    return decorate
+
+
+def load_all() -> None:
+    """Import every driver module so all registrations run (idempotent)."""
+    package = importlib.import_module(__package__)
+    for info in pkgutil.iter_modules(package.__path__):
+        if info.name in _NON_DRIVER_MODULES or info.name.startswith("_"):
+            continue
+        importlib.import_module(f"{__package__}.{info.name}")
+
+
+def all_experiments() -> tuple[Experiment, ...]:
+    """Every registered experiment, in presentation (``order``) order."""
+    load_all()
+    return tuple(sorted(_REGISTRY.values(), key=lambda e: e.order))
+
+
+def names() -> tuple[str, ...]:
+    """Registered experiment names, in presentation order."""
+    return tuple(e.name for e in all_experiments())
+
+
+def get(name: str) -> Experiment:
+    """The spec for ``name``; :class:`UnknownExperimentError` if absent."""
+    load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExperimentError(name, names()) from None

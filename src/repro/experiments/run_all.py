@@ -4,56 +4,18 @@ Usage::
 
     python -m repro.experiments.run_all            # paper scale
     REPRO_SCALE=0.2 python -m repro.experiments.run_all
+
+The experiment list comes from :mod:`repro.experiments.registry`; each
+driver registers itself with ``@experiment(...)``, so there is no
+module list here to fall out of date.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.experiments import (
-    ablations,
-    appdesign,
-    fig2,
-    fig3,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    generalization,
-    interactions,
-    models,
-    netflow_tradeoff,
-    overhead,
-    realtime,
-    startup,
-    table2,
-    table3,
-    table4,
-    table5,
-)
 from repro.experiments.common import SERVICES, corpus_size, scale
-
-_EXPERIMENTS = (
-    ("Figure 2", fig2),
-    ("Figure 3", fig3),
-    ("Figure 4", fig4),
-    ("Figure 5", fig5),
-    ("Table 2", table2),
-    ("Table 3", table3),
-    ("Figure 6", fig6),
-    ("Figure 7", fig7),
-    ("Table 4", table4),
-    ("Table 5", table5),
-    ("Overhead", overhead),
-    ("Model sweep", models),
-    ("Ablations", ablations),
-    ("Extension: NetFlow trade-off", netflow_tradeoff),
-    ("Extension: cross-service generalization", generalization),
-    ("Extension: user interactions", interactions),
-    ("Extension: partial-session detection", realtime),
-    ("Extension: startup-delay estimation", startup),
-    ("Extension: application-design sensitivity", appdesign),
-)
+from repro.experiments.registry import all_experiments
 
 
 def main() -> None:
@@ -61,11 +23,11 @@ def main() -> None:
     sizes = ", ".join(f"{svc}={corpus_size(svc)}" for svc in SERVICES)
     print(f"repro experiment suite — scale={scale()} ({sizes} sessions)")
     total_start = time.time()
-    for title, module in _EXPERIMENTS:
-        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    for spec in all_experiments():
+        print(f"\n{'=' * 72}\n{spec.title}\n{'=' * 72}")
         start = time.time()
-        module.main()
-        print(f"[{title} done in {time.time() - start:.1f}s]")
+        spec.run()
+        print(f"[{spec.title} done in {time.time() - start:.1f}s]")
     print(f"\nTotal: {time.time() - total_start:.1f}s")
 
 

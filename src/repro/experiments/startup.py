@@ -19,13 +19,13 @@ import numpy as np
 
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
-    default_forest,
+    cv_report_for,
+    features_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import extract_tls_matrix
-from repro.ml.model_selection import cross_validate
+from repro.experiments.registry import experiment
 
 __all__ = ["startup_category", "startup_labels", "run", "main"]
 
@@ -55,10 +55,12 @@ def startup_labels(dataset: Dataset) -> np.ndarray:
 def run(dataset: Dataset | None = None) -> dict:
     """Startup-delay estimation accuracy on one corpus."""
     dataset = dataset if dataset is not None else get_corpus("svc1")
-    X, _ = extract_tls_matrix(dataset)
+    X, _ = features_for(dataset)
     y = startup_labels(dataset)
     counts = np.bincount(y, minlength=3)
-    report = cross_validate(default_forest(), X, y, n_splits=5)
+    report = cv_report_for(
+        dataset, X, y, {"features": "tls", "target": "startup"}
+    )
     return {
         "accuracy": report.accuracy,
         "recall": report.recall,  # slow-startup recall (class 0)
@@ -68,6 +70,13 @@ def run(dataset: Dataset | None = None) -> dict:
     }
 
 
+@experiment(
+    "startup",
+    title="Extension: startup-delay estimation",
+    paper_ref="§2.1 (unestimated QoE factor)",
+    description="Categorical startup delay from the 38 TLS features",
+    order=180,
+)
 def main() -> dict:
     """Run and print the startup-delay study."""
     result = run()

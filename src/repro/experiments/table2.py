@@ -18,6 +18,7 @@ import numpy as np
 from repro.collection.dataset import Dataset
 from repro.experiments.common import format_table, get_corpus
 from repro.experiments.fig5 import run_service
+from repro.experiments.registry import experiment
 
 __all__ = ["run", "main", "PAPER_ROW_PERCENT"]
 
@@ -46,6 +47,13 @@ def run(dataset: Dataset | None = None, fig5_result: dict | None = None) -> dict
     }
 
 
+@experiment(
+    "table2",
+    title="Table 2",
+    paper_ref="§4.2, Table 2",
+    description="Confusion matrix for Svc1's combined QoE",
+    order=50,
+)
 def main() -> dict:
     """Run and print Table 2."""
     result = run()

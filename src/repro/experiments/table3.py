@@ -16,17 +16,14 @@ import numpy as np
 from repro.collection.dataset import Dataset
 from repro.experiments.common import (
     SERVICES,
-    default_forest,
+    cv_report_for,
+    features_for,
     format_percent,
     format_table,
     get_corpus,
 )
-from repro.features.tls_features import (
-    TLS_FEATURE_NAMES,
-    extract_tls_matrix,
-    feature_groups,
-)
-from repro.ml.model_selection import cross_validate
+from repro.experiments.registry import experiment
+from repro.features.tls_features import TLS_FEATURE_NAMES, feature_groups
 
 __all__ = ["run", "main", "FEATURE_SETS", "PAPER_TABLE3"]
 
@@ -59,12 +56,17 @@ def _columns_for(group_names: tuple[str, ...]) -> np.ndarray:
 
 def run_service(dataset: Dataset, target: str = "combined") -> dict:
     """Ablation rows for one service."""
-    X, _ = extract_tls_matrix(dataset)
+    X, _ = features_for(dataset)
     y = dataset.labels(target)
     result = {}
     for set_name, group_names in FEATURE_SETS:
         cols = _columns_for(group_names)
-        report = cross_validate(default_forest(), X[:, cols], y, n_splits=5)
+        report = cv_report_for(
+            dataset,
+            X[:, cols],
+            y,
+            {"features": "tls", "groups": group_names, "target": target},
+        )
         result[set_name] = {
             "accuracy": report.accuracy,
             "recall": report.recall,
@@ -81,6 +83,13 @@ def run(datasets: dict[str, Dataset] | None = None) -> dict:
     return {svc: run_service(ds) for svc, ds in datasets.items()}
 
 
+@experiment(
+    "table3",
+    title="Table 3",
+    paper_ref="§4.3, Table 3",
+    description="Incremental feature-set ablation for combined QoE",
+    order=60,
+)
 def main() -> dict:
     """Run and print Table 3."""
     result = run()

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import format_table
+from repro.experiments.registry import experiment
 from repro.sessions.boundary import (
     BoundaryConfig,
     detect_session_starts,
@@ -91,6 +92,13 @@ def sweep(
     return rows
 
 
+@experiment(
+    "table5",
+    title="Table 5",
+    paper_ref="§4.4, Table 5",
+    description="Session-identification accuracy on back-to-back streams",
+    order=100,
+)
 def main() -> dict:
     """Run and print Table 5 (+ parameter sweep highlights)."""
     result = run()

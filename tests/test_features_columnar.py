@@ -13,6 +13,7 @@ import pytest
 
 from repro.collection.harness import collect_corpus
 from repro.experiments import fig5, table3
+from repro.experiments.common import default_forest
 from repro.features.tls_features import (
     TEMPORAL_INTERVALS,
     extract_tls_features,
@@ -101,7 +102,7 @@ class TestExperimentNumbersUnchanged:
         result = fig5.run_service(svc1, targets=("combined",), n_estimators=10)
         X_ref = reference_matrix(svc1)
         y = svc1.labels("combined")
-        model = fig5.default_forest()
+        model = default_forest()
         model.n_estimators = 10
         y_pred = cross_val_predict(model, X_ref, y, n_splits=5)
         assert np.array_equal(result["combined"]["y_pred"], y_pred)

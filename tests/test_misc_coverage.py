@@ -110,16 +110,16 @@ class TestVideoLevelJitter:
 
 
 class TestRunAllStructure:
-    def test_every_registered_experiment_has_main(self):
-        from repro.experiments import run_all
+    def test_every_registered_experiment_has_entry_point(self):
+        from repro.experiments import registry
 
-        for title, module in run_all._EXPERIMENTS:
-            assert callable(getattr(module, "main", None)), title
+        for spec in registry.all_experiments():
+            assert callable(spec.run), spec.name
 
     def test_experiment_titles_unique(self):
-        from repro.experiments import run_all
+        from repro.experiments import registry
 
-        titles = [t for t, _ in run_all._EXPERIMENTS]
+        titles = [spec.title for spec in registry.all_experiments()]
         assert len(titles) == len(set(titles))
 
 

@@ -1,0 +1,156 @@
+"""The declarative experiment registry and its CLI surface."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+from repro.experiments import registry
+
+
+def _driver_module_names():
+    package = importlib.import_module("repro.experiments")
+    return [
+        info.name
+        for info in pkgutil.iter_modules(package.__path__)
+        if info.name not in registry._NON_DRIVER_MODULES
+        and not info.name.startswith("_")
+    ]
+
+
+class TestRegistryCompleteness:
+    def test_every_driver_module_is_registered(self):
+        """Any experiments module defining run() must carry an
+        @experiment registration whose name matches its basename —
+        the drift run_all.py's old import list allowed."""
+        registered = set(registry.names())
+        for name in _driver_module_names():
+            module = importlib.import_module(f"repro.experiments.{name}")
+            if callable(getattr(module, "run", None)) or callable(
+                getattr(module, "main", None)
+            ):
+                assert name in registered, f"{name} defines run() but is unregistered"
+
+    def test_names_unique_and_match_modules(self):
+        specs = registry.all_experiments()
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names))
+        for spec in specs:
+            assert spec.module == f"repro.experiments.{spec.name}"
+
+    def test_orders_unique(self):
+        orders = [spec.order for spec in registry.all_experiments()]
+        assert len(orders) == len(set(orders))
+
+    def test_run_all_follows_registry_order(self):
+        """run_all executes experiments exactly in registry order."""
+        from unittest import mock
+
+        from repro.experiments import run_all
+
+        executed = []
+        specs = registry.all_experiments()
+        patched = [
+            registry.Experiment(
+                name=s.name,
+                title=s.title,
+                paper_ref=s.paper_ref,
+                description=s.description,
+                run=lambda n=s.name: executed.append(n),
+                order=s.order,
+            )
+            for s in specs
+        ]
+        with mock.patch.object(
+            run_all, "all_experiments", return_value=tuple(patched)
+        ):
+            run_all.main()
+        assert executed == [s.name for s in specs]
+        assert [s.order for s in specs] == sorted(s.order for s in specs)
+
+    def test_get_unknown_raises_with_choices(self):
+        with pytest.raises(registry.UnknownExperimentError) as exc_info:
+            registry.get("not_an_experiment")
+        message = str(exc_info.value)
+        assert "not_an_experiment" in message
+        assert "fig5" in message
+
+    def test_load_all_idempotent(self):
+        before = registry.names()
+        registry.load_all()
+        assert registry.names() == before
+
+
+class TestDecoratorValidation:
+    def test_rejects_foreign_module(self):
+        decorator = registry.experiment(
+            "someothername",
+            title="X",
+            paper_ref="-",
+            description="-",
+            order=9999,
+        )
+
+        def run():
+            return None
+
+        with pytest.raises(ValueError, match="must be registered from"):
+            decorator(run)
+
+    def test_rejects_duplicate_order(self):
+        taken = registry.all_experiments()[0].order
+        decorator = registry.experiment(
+            "registry",  # matches this callable's module check first
+            title="X",
+            paper_ref="-",
+            description="-",
+            order=taken,
+        )
+
+        def run():
+            return None
+
+        run.__module__ = "repro.experiments.registry"
+        with pytest.raises(ValueError, match="share order"):
+            decorator(run)
+
+
+class TestCliIntegration:
+    def test_list_prints_registry(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in registry.all_experiments():
+            assert spec.name in out
+            assert spec.description in out
+
+    def test_unknown_name_exits_2_naming_choices(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "definitely_not_real"]) == 2
+        err = capsys.readouterr().err
+        assert "definitely_not_real" in err
+        assert "valid choices" in err
+        assert "fig5" in err
+
+    def test_no_names_without_list_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment"]) == 2
+
+    def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.artifacts import get_store
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        get_store().get_or_compute("demo", {"i": 1}, lambda: {"v": np.zeros(3)})
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "demo" in out
+        assert main(["cache", "clear"]) == 0
+        assert main(["cache", "info"]) == 0
+        assert "demo" not in capsys.readouterr().out

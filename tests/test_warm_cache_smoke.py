@@ -1,0 +1,47 @@
+"""Cold-vs-warm smoke test for the artifact store (CI job).
+
+Gated behind ``REPRO_SMOKE=1`` because it runs the entire experiment
+suite twice (at whatever tiny ``REPRO_SCALE`` the caller sets).  The
+assertion is the store's whole contract: after one cold ``run_all``,
+a warm one performs **zero** corpus collections and **zero** feature
+re-extractions — every artifact stage serves from disk.
+"""
+
+import contextlib
+import io
+import os
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SMOKE") != "1",
+    reason="slow cold/warm smoke; set REPRO_SMOKE=1 to run",
+)
+
+
+def test_warm_run_all_recomputes_nothing(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_SCALE", os.environ.get("REPRO_SCALE", "0.03"))
+
+    from repro.artifacts import get_store
+    from repro.experiments import run_all
+
+    store = get_store()
+    store.reset_counters()
+    with contextlib.redirect_stdout(io.StringIO()):
+        run_all.main()
+    cold = store.counter_snapshot()
+    assert cold["misses"] > 0
+
+    # Warm run in fresh-process conditions: memory LRU dropped, so
+    # every stage must be served by a disk hit, not a recompute.
+    store.reset_counters()
+    store.clear_memory()
+    with contextlib.redirect_stdout(io.StringIO()):
+        run_all.main()
+    warm = store.counter_snapshot()
+
+    assert warm["misses"] == 0, f"warm run recomputed artifacts: {warm}"
+    assert warm["stages"]["corpus"]["misses"] == 0
+    assert warm["stages"]["tls-features"]["misses"] == 0
+    assert warm["hits"] > 0
