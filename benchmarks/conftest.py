@@ -10,11 +10,11 @@ suite runs in minutes; set ``REPRO_SCALE=1.0`` to regenerate everything
 at paper scale.  Corpora are cached on disk across runs.
 """
 
-import os
-
 import pytest
 
-os.environ.setdefault("REPRO_SCALE", "0.25")
+from repro.config import set_env_default
+
+set_env_default("REPRO_SCALE", "0.25")
 
 from repro.experiments import common, registry  # noqa: E402
 

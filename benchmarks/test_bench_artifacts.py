@@ -16,7 +16,7 @@ import io
 import os
 import time
 
-from repro import artifacts
+from repro import artifacts, config
 from repro.experiments import run_all
 
 
@@ -27,13 +27,8 @@ def _run_all_quietly() -> None:
 
 def test_cold_vs_warm_run_all(benchmark, tmp_path_factory):
     cache_root = tmp_path_factory.mktemp("artifact-cache")
-    saved = {
-        key: os.environ.get(key)
-        for key in ("REPRO_SCALE", artifacts.CACHE_DIR_ENV_VAR)
-    }
-    os.environ["REPRO_SCALE"] = os.environ.get("REPRO_BENCH_ARTIFACT_SCALE", "0.2")
-    os.environ[artifacts.CACHE_DIR_ENV_VAR] = str(cache_root)
-    try:
+    scale = float(os.environ.get("REPRO_BENCH_ARTIFACT_SCALE", "0.2"))
+    with config.override(scale=scale, cache_dir=cache_root):
         store = artifacts.get_store()
         store.reset_counters()
 
@@ -64,9 +59,3 @@ def test_cold_vs_warm_run_all(benchmark, tmp_path_factory):
             f"warm run_all only {cold_seconds / warm_seconds:.1f}x faster "
             f"({warm_seconds:.1f}s vs {cold_seconds:.1f}s)"
         )
-    finally:
-        for key, value in saved.items():
-            if value is None:
-                os.environ.pop(key, None)
-            else:
-                os.environ[key] = value

@@ -14,37 +14,27 @@ import time
 
 import numpy as np
 
-from repro.collection import collect_corpus
-from repro.features import extract_ml16_matrix, extract_tls_matrix
-from repro.ml import RandomForestClassifier, cross_validate
+import repro
 
 N_SESSIONS = 300
 
 
 def main() -> None:
     print(f"collecting {N_SESSIONS} svc2 sessions...")
-    dataset = collect_corpus("svc2", N_SESSIONS, seed=5)
+    dataset = repro.collect_corpus("svc2", n_sessions=N_SESSIONS, seed=5)
     y = dataset.labels("combined")
 
     # --- Coarse-grained: TLS transactions. ---------------------------
     t0 = time.perf_counter()
-    X_tls, _ = extract_tls_matrix(dataset)
+    X_tls, _ = repro.extract_features(dataset)
     tls_seconds = time.perf_counter() - t0
-    tls = cross_validate(
-        RandomForestClassifier(n_estimators=60, min_samples_leaf=2, random_state=0),
-        X_tls,
-        y,
-    )
+    tls = repro.cross_validate(X_tls, y)
 
     # --- Fine-grained: packet traces + ML16. -------------------------
     t0 = time.perf_counter()
-    X_pkt, _ = extract_ml16_matrix(dataset)
+    X_pkt, _ = repro.extract_features(dataset, kind="ml16")
     pkt_seconds = time.perf_counter() - t0
-    ml16 = cross_validate(
-        RandomForestClassifier(n_estimators=60, min_samples_leaf=2, random_state=0),
-        X_pkt,
-        y,
-    )
+    ml16 = repro.cross_validate(X_pkt, y)
 
     packets = np.mean([s.n_packets for s in dataset])
     tls_txns = np.mean([s.n_tls_transactions for s in dataset])

@@ -20,9 +20,8 @@ Run with::
     python examples/isp_monitoring.py
 """
 
-from repro.collection import CollectionConfig, collect_corpus
-from repro.features import extract_tls_matrix
-from repro.ml import RandomForestClassifier
+import repro
+from repro.collection.harness import CollectionConfig
 from repro.net.bandwidth import TraceFamily
 
 TRAIN_SESSIONS = 400
@@ -43,21 +42,18 @@ CELL_PROFILES = {
 
 def main() -> None:
     print(f"training QoE model on {TRAIN_SESSIONS} labelled sessions...")
-    train = collect_corpus("svc2", TRAIN_SESSIONS, seed=11)
-    X_train, _ = extract_tls_matrix(train)
-    model = RandomForestClassifier(
-        n_estimators=60, min_samples_leaf=2, random_state=0
-    )
-    model.fit(X_train, train.labels("combined"))
+    train = repro.collect_corpus("svc2", n_sessions=TRAIN_SESSIONS, seed=11)
+    X_train, _ = repro.extract_features(train)
+    model = repro.train_model(X_train, train.labels("combined"))
 
     print(f"monitoring {len(CELL_PROFILES)} cells, "
           f"{SESSIONS_PER_CELL} sessions each\n")
     rows = []
     for cell_id, (cell, weights) in enumerate(CELL_PROFILES.items()):
         config = CollectionConfig(trace_weights=weights)
-        observed = collect_corpus("svc2", SESSIONS_PER_CELL,
-                                  seed=1000 + cell_id, config=config)
-        X, _ = extract_tls_matrix(observed)
+        observed = repro.collect_corpus("svc2", n_sessions=SESSIONS_PER_CELL,
+                                        seed=1000 + cell_id, config=config)
+        X, _ = repro.extract_features(observed)
         estimated_low = float((model.predict(X) == 0).mean())
         actual_low = float((observed.labels("combined") == 0).mean())
         rows.append((cell, estimated_low, actual_low))

@@ -13,16 +13,14 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro.collection import collect_corpus
-from repro.features import extract_tls_matrix
-from repro.ml import RandomForestClassifier, cross_validate
+import repro
 
 N_SESSIONS = 400  # the paper uses ~2,100 per service; this keeps it quick
 
 
 def main() -> None:
     print(f"collecting {N_SESSIONS} Svc1 sessions under emulated networks...")
-    dataset = collect_corpus("svc1", N_SESSIONS, seed=7)
+    dataset = repro.collect_corpus("svc1", n_sessions=N_SESSIONS, seed=7)
     distribution = dataset.label_distribution("combined")
     print(
         "ground-truth combined QoE: "
@@ -30,14 +28,11 @@ def main() -> None:
         f"{distribution[2]:.0%} high"
     )
 
-    X, feature_names = extract_tls_matrix(dataset)
+    X, feature_names = repro.extract_features(dataset)
     y = dataset.labels("combined")
     print(f"feature matrix: {X.shape[0]} sessions x {X.shape[1]} features")
 
-    model = RandomForestClassifier(
-        n_estimators=60, min_samples_leaf=2, random_state=0
-    )
-    report = cross_validate(model, X, y, n_splits=5)
+    report = repro.cross_validate(X, y, n_splits=5)
     print(
         f"\ncombined-QoE estimation: accuracy {report.accuracy:.0%}, "
         f"low-QoE recall {report.recall:.0%}, precision {report.precision:.0%}"
@@ -47,7 +42,7 @@ def main() -> None:
 
     # What did the model look at?  Fit once on everything and show the
     # strongest features (Figure 6 of the paper).
-    model.fit(X, y)
+    model = repro.train_model(X, y)
     ranked = sorted(
         zip(feature_names, model.feature_importances_),
         key=lambda pair: pair[1],

@@ -18,11 +18,10 @@ Run with::
 
 import numpy as np
 
-from repro.collection import collect_corpus
-from repro.features import extract_tls_features, extract_tls_matrix
-from repro.ml import RandomForestClassifier
+import repro
+from repro.features.tls_features import extract_tls_features
 from repro.qoe.metrics import COMBINED_NAMES
-from repro.sessions import back_to_back_stream, split_sessions
+from repro.sessions.workload import back_to_back_stream
 
 N_VIDEOS = 8
 TRAIN_SESSIONS = 400
@@ -36,19 +35,16 @@ def main() -> None:
         f"{stream.transactions[-1].end / 60:.0f} minutes"
     )
 
-    groups = split_sessions(stream.transactions, min_transactions=5)
+    groups = repro.detect_sessions(stream.transactions, min_transactions=5)
     print(
         f"boundary heuristic found {len(groups)} sessions "
         f"(ground truth: {stream.n_sessions})"
     )
 
     print(f"\ntraining the QoE model on {TRAIN_SESSIONS} labelled sessions...")
-    train = collect_corpus("svc1", TRAIN_SESSIONS, seed=21)
-    X_train, _ = extract_tls_matrix(train)
-    model = RandomForestClassifier(
-        n_estimators=60, min_samples_leaf=2, random_state=0
-    )
-    model.fit(X_train, train.labels("combined"))
+    train = repro.collect_corpus("svc1", n_sessions=TRAIN_SESSIONS, seed=21)
+    X_train, _ = repro.extract_features(train)
+    model = repro.train_model(X_train, train.labels("combined"))
 
     # Ground-truth mapping for the report: the dominant true session of
     # each detected group (the estimator never sees this).

@@ -7,20 +7,65 @@ TCP/TLS/transparent-proxy network model, synthetic bandwidth traces, a
 packet-trace baseline (ML16), a from-scratch machine-learning stack, and
 a back-to-back session-boundary detector.
 
-Typical use::
+The supported entry points live in :mod:`repro.api` and are re-exported
+here::
 
-    from repro.collection import collect_corpus
-    from repro.features import extract_tls_matrix
-    from repro.ml import RandomForestClassifier, cross_validate
+    import repro
 
-    dataset = collect_corpus("svc1", n_sessions=200, seed=7)
-    X, names = extract_tls_matrix(dataset)
-    y = dataset.labels("combined")
-    report = cross_validate(
-        RandomForestClassifier(n_estimators=60, random_state=0), X, y
-    )
+    dataset = repro.collect_corpus("svc1", n_sessions=200, seed=7)
+    X, names = repro.extract_features(dataset)
+    report = repro.cross_validate(X, dataset.labels("combined"))
+
+Runtime knobs (workers, corpus scale, cache directory, telemetry) are
+resolved once by :mod:`repro.config`; inspect them with
+``python -m repro config show``.  Pipeline tracing lives in
+:mod:`repro.telemetry` (``python -m repro trace report``).
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "Config",
+    "__version__",
+    "collect_corpus",
+    "cross_validate",
+    "detect_sessions",
+    "extract_features",
+    "get_config",
+    "run_experiment",
+    "train_model",
+]
+
+#: Facade names resolved lazily so ``import repro`` stays light and
+#: submodule imports (``repro.telemetry``, ``repro.config``) never pull
+#: in numpy-heavy feature code.
+_API_NAMES = frozenset(
+    {
+        "collect_corpus",
+        "cross_validate",
+        "detect_sessions",
+        "extract_features",
+        "run_experiment",
+        "train_model",
+    }
+)
+_CONFIG_NAMES = frozenset({"Config", "get_config"})
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        import repro.api as _api
+
+        value = getattr(_api, name)
+    elif name in _CONFIG_NAMES:
+        import repro.config as _config
+
+        value = getattr(_config, name)
+    else:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _API_NAMES | _CONFIG_NAMES)

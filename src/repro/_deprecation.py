@@ -1,0 +1,62 @@
+"""Warn-once deprecated re-exports (PEP 562 module ``__getattr__``).
+
+The package-level convenience imports that predate :mod:`repro.api`
+(``from repro.collection import collect_corpus``, ...) keep working,
+but each one now warns — once per process — naming its replacement.
+A package opts in with::
+
+    __getattr__ = deprecated_reexports(
+        __name__,
+        {"collect_corpus": ("repro.collection.harness", "repro.api")},
+    )
+
+On first access the attribute is resolved from its implementation
+module, a :class:`DeprecationWarning` is emitted, and the value is
+cached into the package's namespace so later accesses are plain
+attribute lookups (no second warning, no ``__getattr__`` overhead).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+from typing import Mapping
+
+__all__ = ["deprecated_reexports"]
+
+
+def deprecated_reexports(
+    package: str, moved: Mapping[str, tuple[str, str]]
+):
+    """Build a module ``__getattr__`` serving deprecated names.
+
+    Parameters
+    ----------
+    package:
+        The adopting package's ``__name__``.
+    moved:
+        ``name -> (implementation_module, replacement)`` where
+        ``replacement`` is the supported import path to mention in the
+        warning (usually ``"repro.api"``).
+    """
+
+    def __getattr__(name: str):
+        try:
+            impl_module, replacement = moved[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {package!r} has no attribute {name!r}"
+            ) from None
+        value = getattr(importlib.import_module(impl_module), name)
+        warnings.warn(
+            f"importing {name!r} from {package!r} is deprecated; "
+            f"use {replacement} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Cache so the next access bypasses __getattr__ (and the warning).
+        sys.modules[package].__dict__[name] = value
+        return value
+
+    return __getattr__

@@ -1,0 +1,252 @@
+"""Stable public facade — the supported entry points of the library.
+
+Everything an ISP-side user of this reproduction needs is re-exported
+here (and from ``repro`` itself) with keyword-only, documented
+signatures::
+
+    import repro
+
+    dataset = repro.collect_corpus("svc1", n_sessions=200, seed=7)
+    X, names = repro.extract_features(dataset)
+    report = repro.cross_validate(X, dataset.labels("combined"))
+    model = repro.train_model(X, dataset.labels("combined"))
+    groups = repro.detect_sessions(transactions)
+    results = repro.run_experiment("fig5")
+
+The deep module paths (``repro.collection.harness`` and friends)
+remain the implementation and keep working, but the *package-level*
+conveniences they used to be imported through
+(``from repro.collection import collect_corpus``, ...) are deprecated
+shims that warn once and point here.  This facade is the compatibility
+contract: its signatures only grow keyword arguments.
+
+Functions here accept plain data (arrays, transaction lists,
+datasets), honour the resolved :mod:`repro.config` (jobs, scale,
+cache, telemetry) and add no behaviour of their own beyond argument
+validation and dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.collection.dataset import Dataset
+from repro.collection.harness import CollectionConfig
+from repro.collection.harness import collect_corpus as _collect_corpus
+from repro.features.tls_features import TEMPORAL_INTERVALS, extract_tls_matrix
+from repro.ml.metrics import EvalReport
+from repro.ml.model_selection import cross_validate as _cross_validate
+from repro.sessions.boundary import BoundaryConfig, split_sessions
+from repro.tlsproxy.records import TlsTransaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netflow.exporter import ExporterConfig
+
+__all__ = [
+    "collect_corpus",
+    "cross_validate",
+    "detect_sessions",
+    "extract_features",
+    "run_experiment",
+    "train_model",
+]
+
+#: The feature families :func:`extract_features` can compute.
+FEATURE_KINDS = ("tls", "ml16", "flow")
+
+
+def collect_corpus(
+    service: str,
+    *,
+    n_sessions: int,
+    seed: int = 0,
+    config: CollectionConfig | None = None,
+    jobs: int | None = None,
+) -> Dataset:
+    """Simulate and collect a corpus of streaming sessions.
+
+    Parameters
+    ----------
+    service:
+        Service profile name (``"svc1"``/``"svc2"``/``"svc3"``).
+    n_sessions:
+        Sessions to collect (the paper's corpora are 2111/2216/1440).
+    seed:
+        Corpus seed; each session derives its own independent RNG
+        stream, so results are bit-identical for any worker count.
+    config:
+        Optional :class:`~repro.collection.harness.CollectionConfig`
+        overriding watch durations / the bandwidth-trace mixture.
+    jobs:
+        Worker processes (default: the resolved config's ``jobs``).
+
+    Returns
+    -------
+    Dataset
+        The collected corpus, ready for :func:`extract_features`.
+    """
+    return _collect_corpus(service, n_sessions, seed=seed, config=config, n_jobs=jobs)
+
+
+def extract_features(
+    dataset: Dataset,
+    *,
+    kind: str = "tls",
+    intervals: tuple[int, ...] = TEMPORAL_INTERVALS,
+    seed: int = 0,
+    exporter: "ExporterConfig | None" = None,
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """One feature matrix (and its column names) for a corpus.
+
+    Parameters
+    ----------
+    dataset:
+        A corpus from :func:`collect_corpus` (or ``Dataset.load``).
+    kind:
+        ``"tls"`` — the paper's 38 coarse-grained features (default);
+        ``"ml16"`` — the packet-trace baseline (Dimopoulos et al.);
+        ``"flow"`` — the NetFlow middle ground.
+    intervals:
+        Temporal-interval grid for ``kind="tls"`` (paper §3).
+    seed:
+        Packet-trace synthesis seed for ``kind="ml16"``.
+    exporter:
+        Exporter timeouts for ``kind="flow"``
+        (:class:`~repro.netflow.exporter.ExporterConfig`).
+
+    Returns
+    -------
+    (X, names):
+        ``X`` has one row per session; ``names`` labels its columns.
+    """
+    if kind == "tls":
+        return extract_tls_matrix(dataset, intervals=intervals)
+    if kind == "ml16":
+        from repro.features.packet_features import extract_ml16_matrix
+
+        return extract_ml16_matrix(dataset, seed=seed)
+    if kind == "flow":
+        from repro.netflow.features import extract_flow_matrix
+
+        return extract_flow_matrix(dataset, exporter)
+    raise ValueError(
+        f"unknown feature kind {kind!r} (choose from {FEATURE_KINDS})"
+    )
+
+
+def train_model(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    model: dict | None = None,
+):
+    """Fit the paper's estimator (or any declarative model config).
+
+    Parameters
+    ----------
+    X, y:
+        Feature matrix and categorical labels (``dataset.labels(...)``).
+    model:
+        A model-config dict (``{"kind": "random_forest", ...}``; see
+        :func:`repro.experiments.common.build_model`).  Default: the
+        paper's 60-tree Random Forest.
+
+    Returns
+    -------
+    The fitted estimator (``predict(X)`` ready).
+    """
+    from repro.experiments.common import build_model, default_forest_config
+
+    estimator = build_model(model if model is not None else default_forest_config())
+    return estimator.fit(np.asarray(X, dtype=np.float64), np.asarray(y))
+
+
+def cross_validate(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    model: dict | object | None = None,
+    n_splits: int = 5,
+    positive: int = 0,
+    random_state: int | None = 0,
+    jobs: int | None = None,
+) -> EvalReport:
+    """The paper's evaluation protocol: stratified k-fold CV.
+
+    Parameters
+    ----------
+    X, y:
+        Feature matrix and categorical labels.
+    model:
+        A model-config dict, an (unfitted) estimator instance, or None
+        for the paper's Random Forest.
+    n_splits:
+        Folds (the paper uses 5).
+    positive:
+        The class recall/precision report on (0 = "low QoE").
+    random_state:
+        Fold-assignment seed.
+    jobs:
+        Worker processes for the fold fan-out.
+
+    Returns
+    -------
+    EvalReport
+        Pooled out-of-fold accuracy/recall/precision + confusion.
+    """
+    if model is None or isinstance(model, dict):
+        from repro.experiments.common import build_model, default_forest_config
+
+        estimator = build_model(model if model is not None else default_forest_config())
+    else:
+        estimator = model
+    return _cross_validate(
+        estimator,
+        np.asarray(X, dtype=np.float64),
+        np.asarray(y),
+        n_splits=n_splits,
+        positive=positive,
+        random_state=random_state,
+        n_jobs=jobs,
+    )
+
+
+def detect_sessions(
+    transactions: Sequence[TlsTransaction],
+    *,
+    config: BoundaryConfig | None = None,
+    min_transactions: int = 1,
+) -> list[list[TlsTransaction]]:
+    """Split a merged transaction stream into per-session groups.
+
+    Parameters
+    ----------
+    transactions:
+        The proxy's transaction stream (any order; sorted internally).
+    config:
+        Boundary-heuristic knobs
+        (:class:`~repro.sessions.boundary.BoundaryConfig`).
+    min_transactions:
+        Groups smaller than this merge into the preceding session.
+
+    Returns
+    -------
+    Per-session transaction lists, in time order.
+    """
+    return split_sessions(transactions, config, min_transactions=min_transactions)
+
+
+def run_experiment(name: str) -> object:
+    """Run one registered paper experiment and return its result dict.
+
+    ``name`` is a registry name (``"fig5"``, ``"table3"``, ...); see
+    ``python -m repro experiment --list``.  Raises
+    :class:`repro.experiments.registry.UnknownExperimentError` for
+    unknown names.  The driver prints its paper-vs-measured report and
+    returns the numbers the figure/table is built from.
+    """
+    from repro.experiments import registry
+
+    return registry.get(name).run()

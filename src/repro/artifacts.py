@@ -48,7 +48,11 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro import telemetry
+from repro.config import CACHE_DIR_ENV_VAR, get_config
+
 __all__ = [
+    "CACHE_DIR_ENV_VAR",
     "CACHE_VERSION",
     "ArraysCodec",
     "ArtifactStore",
@@ -65,13 +69,14 @@ __all__ = [
 #: RNG streams (parallel collection).
 CACHE_VERSION = 4
 
-#: Environment variable selecting the cache directory.
-CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
-
-
 def cache_dir() -> Path:
-    """The configured cache root (not created until first write)."""
-    return Path(os.environ.get(CACHE_DIR_ENV_VAR, Path.cwd() / ".cache"))
+    """The configured cache root (not created until first write).
+
+    Resolved through :func:`repro.config.get_config`, so tests point
+    the store (and ``cache info``/``cache clear``) at a tmpdir with
+    ``repro.config.override(cache_dir=...)`` — no env monkeypatching.
+    """
+    return get_config().cache_dir
 
 
 # ----------------------------------------------------------------------
@@ -309,22 +314,29 @@ class ArtifactStore:
         fp = fingerprint(stage, config, deps)
         key = digest(fp)
         counters = self._stage_counters(stage)
-        value = self._memory_get(key)
-        if value is not None:
-            counters.memory_hits += 1
-            return value, key
-        if use_disk:
-            value = self._disk_get(stage, key, fp, codec)
+        with telemetry.span("artifact", stage=stage) as sp:
+            value = self._memory_get(key)
             if value is not None:
-                counters.hits += 1
-                self._memory_put(key, value)
+                counters.memory_hits += 1
+                telemetry.count(f"cache.{stage}.memory_hit")
+                sp.set(outcome="memory_hit")
                 return value, key
-        counters.misses += 1
-        value = build()
-        if use_disk:
-            self.write(stage, key, fp, value, codec)
-        self._memory_put(key, value)
-        return value, key
+            if use_disk:
+                value = self._disk_get(stage, key, fp, codec)
+                if value is not None:
+                    counters.hits += 1
+                    telemetry.count(f"cache.{stage}.hit")
+                    sp.set(outcome="hit")
+                    self._memory_put(key, value)
+                    return value, key
+            counters.misses += 1
+            telemetry.count(f"cache.{stage}.miss")
+            sp.set(outcome="miss")
+            value = build()
+            if use_disk:
+                self.write(stage, key, fp, value, codec)
+            self._memory_put(key, value)
+            return value, key
 
     # -- maintenance ---------------------------------------------------
     def iter_entries(self) -> Iterator[tuple[str, Path]]:

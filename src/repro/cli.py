@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the operational workflow an ISP user of this
+Eight subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
@@ -9,6 +9,8 @@ library would run::
     python -m repro split    --transactions stream.json [--demo svc1]
     python -m repro experiment fig5 table3 ...   (or: all, or --list)
     python -m repro cache    info|clear
+    python -m repro config   show
+    python -m repro trace    report|validate PATH
 
 Models are pickled Random Forests together with their feature schema;
 corpora use the dataset JSON format of
@@ -16,17 +18,24 @@ corpora use the dataset JSON format of
 declarative registry (:mod:`repro.experiments.registry`); expensive
 intermediates live in the artifact store under ``REPRO_CACHE_DIR``
 (:mod:`repro.artifacts`), which ``cache info``/``cache clear`` manage.
+
+Every command honours the resolved :mod:`repro.config` (``config
+show`` prints it) and runs under a ``command`` telemetry span: pass
+``--trace PATH`` (or set ``REPRO_TRACE``) to record a JSONL trace of
+the run, then inspect it with ``trace report``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import pickle
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 
+from repro import config as config_mod
+from repro import telemetry
 from repro._version import __version__
 from repro.collection.dataset import Dataset
 from repro.collection.harness import collect_corpus
@@ -211,6 +220,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_config(args: argparse.Namespace) -> int:
+    rows = config_mod.get_config().describe()
+    name_w = max(len(r[0]) for r in rows)
+    value_w = max(len(r[1]) for r in rows)
+    for name, value, var, source in rows:
+        print(f"{name:<{name_w}}  {value:<{value_w}}  [{var}, from {source}]")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        if args.action == "validate":
+            events = telemetry.validate_trace(args.path)
+            spans = sum(1 for e in events if e.get("type") == "span")
+            print(f"{args.path}: valid trace ({spans} spans, {len(events)} records)")
+        else:
+            print(telemetry.render_report(args.path, top=args.top))
+    except telemetry.TraceValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -223,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for collection/training/CV "
              "(default: REPRO_JOBS or all cores; 1 = sequential; "
              "results are identical for every value)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a telemetry trace of this command to a JSONL file "
+             "(also: REPRO_TRACE; inspect with 'repro trace report')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -272,6 +309,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cache", help="inspect or clear the artifact store")
     p.add_argument("action", choices=("info", "clear"))
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("config", help="show the resolved runtime configuration")
+    p.add_argument("action", choices=("show",))
+    p.set_defaults(func=_cmd_config)
+
+    p = sub.add_parser("trace", help="inspect a recorded telemetry trace")
+    p.add_argument("action", choices=("report", "validate"))
+    p.add_argument("path", help="JSONL trace file (from --trace or REPRO_TRACE)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hot paths to list in the report (default 10)")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -282,8 +330,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is not None:
         # Export so every layer (corpus collection, forest fits, CV
         # folds, experiment drivers) resolves the same worker count.
-        os.environ["REPRO_JOBS"] = str(args.jobs)
-    return args.func(args)
+        config_mod.set_jobs(args.jobs)
+    with ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(
+                config_mod.override(
+                    "--trace", trace=True, trace_path=Path(args.trace)
+                )
+            )
+        stack.enter_context(telemetry.maybe_tracing())
+        stack.enter_context(telemetry.span("command", command=args.command))
+        return args.func(args)
 
 
 if __name__ == "__main__":

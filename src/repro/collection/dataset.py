@@ -37,6 +37,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.has.player import SessionTrace
 from repro.has.services import ServiceProfile, get_service
 from repro.net.packets import PacketTrace, synthesize_packet_trace
@@ -420,42 +421,45 @@ class Dataset:
         share the ``.cache/`` directory) never sees a truncated corpus.
         """
         path = Path(path)
-        table = self.tls_table()
-        hosts = sorted(set(table.sni))
-        host_code = {h: i for i, h in enumerate(hosts)}
-        codes = np.fromiter(
-            (host_code[s] for s in table.sni), dtype=np.int32, count=table.n_rows
-        )
-        payload = {
-            "format": FORMAT_VERSION,
-            "service": self.service,
-            "tls": {
-                "start": _encode_array(table.start),
-                "end": _encode_array(table.end),
-                "uplink": _encode_array(table.uplink),
-                "downlink": _encode_array(table.downlink),
-                "offsets": _encode_array(table.offsets),
-                "hosts": hosts,
-                "host_codes": _encode_array(codes),
-            },
-            "sessions": [s.to_dict(include_tls=False) for s in self.sessions],
-        }
-        raw = json.dumps(payload, separators=(",", ":")).encode()
-        if path.suffix == ".gz":
-            raw = gzip.compress(raw, compresslevel=4)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(raw)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with telemetry.span("dataset.save", sessions=len(self.sessions)) as sp:
+            table = self.tls_table()
+            hosts = sorted(set(table.sni))
+            host_code = {h: i for i, h in enumerate(hosts)}
+            codes = np.fromiter(
+                (host_code[s] for s in table.sni), dtype=np.int32, count=table.n_rows
+            )
+            payload = {
+                "format": FORMAT_VERSION,
+                "service": self.service,
+                "tls": {
+                    "start": _encode_array(table.start),
+                    "end": _encode_array(table.end),
+                    "uplink": _encode_array(table.uplink),
+                    "downlink": _encode_array(table.downlink),
+                    "offsets": _encode_array(table.offsets),
+                    "hosts": hosts,
+                    "host_codes": _encode_array(codes),
+                },
+                "sessions": [s.to_dict(include_tls=False) for s in self.sessions],
+            }
+            raw = json.dumps(payload, separators=(",", ":")).encode()
+            if path.suffix == ".gz":
+                raw = gzip.compress(raw, compresslevel=4)
+            sp.set(bytes=len(raw))
+            telemetry.count("dataset.bytes_written", len(raw))
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(raw)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
 
     @classmethod
     def load(cls, path: str | Path) -> "Dataset":
@@ -469,23 +473,30 @@ class Dataset:
         path = Path(path)
         raw = path.read_bytes()
         try:
-            if path.suffix == ".gz":
-                raw = gzip.decompress(raw)
-            payload = json.loads(raw)
-            if not isinstance(payload, dict):
-                raise ValueError("corpus payload is not a JSON object")
-            version = payload.get("format", 1)
-            if version not in SUPPORTED_FORMATS:
-                raise ValueError(
-                    f"unknown corpus format {version!r} "
-                    f"(supported: {SUPPORTED_FORMATS})"
-                )
-            if version >= 3:
-                return cls._from_payload_v3(payload)
-            return cls(
-                service=payload["service"],
-                sessions=[SessionRecord.from_dict(p) for p in payload["sessions"]],
-            )
+            with telemetry.span("dataset.load", bytes=len(raw)) as sp:
+                if path.suffix == ".gz":
+                    raw = gzip.decompress(raw)
+                payload = json.loads(raw)
+                if not isinstance(payload, dict):
+                    raise ValueError("corpus payload is not a JSON object")
+                version = payload.get("format", 1)
+                if version not in SUPPORTED_FORMATS:
+                    raise ValueError(
+                        f"unknown corpus format {version!r} "
+                        f"(supported: {SUPPORTED_FORMATS})"
+                    )
+                sp.set(format=version)
+                if version >= 3:
+                    dataset = cls._from_payload_v3(payload)
+                else:
+                    dataset = cls(
+                        service=payload["service"],
+                        sessions=[
+                            SessionRecord.from_dict(p) for p in payload["sessions"]
+                        ],
+                    )
+                sp.set(sessions=len(dataset.sessions))
+                return dataset
         except (
             KeyError,
             IndexError,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.collection.dataset import Dataset, SessionRecord
 from repro.has.player import PlayerSession, SessionTrace
 from repro.has.services import ServiceProfile, get_service
@@ -128,13 +129,15 @@ def _collect_chunk(
     the session's index — never on chunking or worker count.
     """
     profile, config, seeds = task
-    catalog = profile.make_catalog(seed=config.catalog_seed)
-    records = []
-    for seed_seq in seeds:
-        rng = np.random.default_rng(seed_seq)
-        video = catalog.sample(rng)
-        trace = collect_session(profile, video, rng, config=config)
-        records.append(SessionRecord.from_trace(trace, profile))
+    with telemetry.span("collect_chunk", sessions=len(seeds)):
+        catalog = profile.make_catalog(seed=config.catalog_seed)
+        records = []
+        for seed_seq in seeds:
+            rng = np.random.default_rng(seed_seq)
+            video = catalog.sample(rng)
+            trace = collect_session(profile, video, rng, config=config)
+            records.append(SessionRecord.from_trace(trace, profile))
+        telemetry.count("collection.sessions", len(seeds))
     return records
 
 
@@ -167,18 +170,21 @@ def collect_corpus(
             pickle.dumps(profile)
         except Exception:
             jobs = 1
-    seeds = np.random.SeedSequence(seed).spawn(n_sessions)
-    # One chunk per worker: the catalog is rebuilt per chunk, and
-    # session costs are i.i.d. enough that static chunks balance well.
-    n_chunks = min(jobs, n_sessions) or 1
-    bounds = np.linspace(0, n_sessions, n_chunks + 1).astype(int)
-    tasks = [
-        (profile, config, seeds[lo:hi])
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
-    chunks = parallel_map(_collect_chunk, tasks, n_jobs=jobs, chunksize=1)
-    dataset = Dataset(service=profile.name)
-    for records in chunks:
-        dataset.sessions.extend(records)
+    with telemetry.span(
+        "collect_corpus", service=profile.name, n_sessions=n_sessions, jobs=jobs
+    ):
+        seeds = np.random.SeedSequence(seed).spawn(n_sessions)
+        # One chunk per worker: the catalog is rebuilt per chunk, and
+        # session costs are i.i.d. enough that static chunks balance well.
+        n_chunks = min(jobs, n_sessions) or 1
+        bounds = np.linspace(0, n_sessions, n_chunks + 1).astype(int)
+        tasks = [
+            (profile, config, seeds[lo:hi])
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        chunks = parallel_map(_collect_chunk, tasks, n_jobs=jobs, chunksize=1)
+        dataset = Dataset(service=profile.name)
+        for records in chunks:
+            dataset.sessions.extend(records)
     return dataset

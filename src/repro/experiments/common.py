@@ -81,13 +81,10 @@ _CORPUS_SEEDS = {"svc1": 101, "svc2": 202, "svc3": 303}
 
 
 def scale() -> float:
-    """The REPRO_SCALE environment knob (default 1.0)."""
-    import os
+    """The REPRO_SCALE knob (default 1.0), via the resolved config."""
+    from repro.config import get_config
 
-    value = float(os.environ.get("REPRO_SCALE", "1.0"))
-    if value <= 0:
-        raise ValueError("REPRO_SCALE must be positive")
-    return value
+    return get_config().scale
 
 
 def corpus_size(service: str) -> int:

@@ -26,10 +26,13 @@ agree — and are enforced unique.
 
 from __future__ import annotations
 
+import functools
 import importlib
 import pkgutil
 from dataclasses import dataclass
 from typing import Callable
+
+from repro import telemetry
 
 __all__ = [
     "Experiment",
@@ -98,14 +101,25 @@ def experiment(
                 f"{expected_module}, not {run.__module__}"
             )
         existing = _REGISTRY.get(name)
-        if existing is not None and existing.run is not run:
+        if existing is not None and getattr(
+            existing.run, "__wrapped__", existing.run
+        ) is not run:
             raise ValueError(f"experiment name {name!r} registered twice")
+
+        # Every registry-driven invocation (run_all, the CLI, the
+        # benchmark suite) runs under one experiment span, so traces
+        # attribute the whole pipeline to the driver that asked for it.
+        @functools.wraps(run)
+        def traced_run() -> object:
+            with telemetry.span("experiment", name=name):
+                return run()
+
         spec = Experiment(
             name=name,
             title=title,
             paper_ref=paper_ref,
             description=description,
-            run=run,
+            run=traced_run,
             order=order,
         )
         clash = next(

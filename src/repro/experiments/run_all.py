@@ -4,31 +4,57 @@ Usage::
 
     python -m repro.experiments.run_all            # paper scale
     REPRO_SCALE=0.2 python -m repro.experiments.run_all
+    python -m repro.experiments.run_all --trace run.jsonl   # + telemetry
 
 The experiment list comes from :mod:`repro.experiments.registry`; each
 driver registers itself with ``@experiment(...)``, so there is no
 module list here to fall out of date.
+
+With telemetry enabled (``REPRO_TRACE`` or ``--trace PATH``) the whole
+suite runs under one ``run_all`` root span and flushes a JSONL trace
+on exit; printed output is bit-identical either way — inspect the
+trace with ``python -m repro trace report PATH``.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
+from contextlib import ExitStack
+from pathlib import Path
 
+from repro import config, telemetry
 from repro.experiments.common import SERVICES, corpus_size, scale
 from repro.experiments.registry import all_experiments
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Run every experiment driver in paper order."""
-    sizes = ", ".join(f"{svc}={corpus_size(svc)}" for svc in SERVICES)
-    print(f"repro experiment suite — scale={scale()} ({sizes} sessions)")
-    total_start = time.time()
-    for spec in all_experiments():
-        print(f"\n{'=' * 72}\n{spec.title}\n{'=' * 72}")
-        start = time.time()
-        spec.run()
-        print(f"[{spec.title} done in {time.time() - start:.1f}s]")
-    print(f"\nTotal: {time.time() - total_start:.1f}s")
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.run_all",
+        description="run the full experiment suite",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a telemetry trace of the suite to this JSONL file",
+    )
+    args = parser.parse_args(argv if argv is not None else [])
+    with ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(
+                config.override("--trace", trace=True, trace_path=Path(args.trace))
+            )
+        stack.enter_context(telemetry.maybe_tracing())
+        stack.enter_context(telemetry.span("run_all", scale=scale()))
+        sizes = ", ".join(f"{svc}={corpus_size(svc)}" for svc in SERVICES)
+        print(f"repro experiment suite — scale={scale()} ({sizes} sessions)")
+        total_start = time.time()
+        for spec in all_experiments():
+            print(f"\n{'=' * 72}\n{spec.title}\n{'=' * 72}")
+            start = time.time()
+            spec.run()
+            print(f"[{spec.title} done in {time.time() - start:.1f}s]")
+        print(f"\nTotal: {time.time() - total_start:.1f}s")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.collection.dataset import Dataset
 from repro.features.segments import reconstruct_segments
 from repro.net.packets import PacketTrace
@@ -127,8 +128,14 @@ def extract_ml16_matrix(
     """
     if len(dataset) == 0:
         return np.empty((0, len(ML16_FEATURE_NAMES))), ML16_FEATURE_NAMES
-    rows = []
-    for i, record in enumerate(dataset):
-        trace = record.packet_trace(seed=seed + i)
-        rows.append(extract_ml16_features(trace))
-    return np.vstack(rows), ML16_FEATURE_NAMES
+    with telemetry.span("features.ml16", sessions=len(dataset)) as sp:
+        rows = []
+        n_packets = 0
+        for i, record in enumerate(dataset):
+            trace = record.packet_trace(seed=seed + i)
+            n_packets += trace.n_packets
+            rows.append(extract_ml16_features(trace))
+        X = np.vstack(rows)
+        sp.set(rows=int(X.shape[0]), cols=int(X.shape[1]), packets=n_packets)
+        telemetry.count("ml16.packets_synthesized", n_packets)
+    return X, ML16_FEATURE_NAMES

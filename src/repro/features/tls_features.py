@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.tlsproxy.records import TlsTransaction, transactions_to_columns
 from repro.tlsproxy.table import (
     TransactionTable,
@@ -249,4 +250,9 @@ def extract_tls_matrix(
     table = dataset if isinstance(dataset, TransactionTable) else dataset.tls_table()
     if table.n_sessions == 0:
         return np.empty((0, len(names))), names
-    return extract_tls_table(table, intervals), names
+    with telemetry.span(
+        "features.tls", sessions=table.n_sessions, transactions=table.n_rows
+    ) as sp:
+        X = extract_tls_table(table, intervals)
+        sp.set(rows=int(X.shape[0]), cols=int(X.shape[1]))
+    return X, names

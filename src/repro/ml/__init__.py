@@ -15,6 +15,7 @@ All classifiers follow a minimal sklearn-like contract: ``fit(X, y)``,
 folds via :func:`repro.ml.model_selection.clone`.
 """
 
+from repro._deprecation import deprecated_reexports
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.importance import permutation_importance
@@ -32,11 +33,17 @@ from repro.ml.model_selection import (
     StratifiedKFold,
     clone,
     cross_val_predict,
-    cross_validate,
 )
 from repro.ml.preprocessing import StandardScaler
 from repro.ml.svm import LinearSVC
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+# cross_validate moved to the stable facade; importing it from here
+# still works but warns once.
+__getattr__ = deprecated_reexports(
+    __name__,
+    {"cross_validate": ("repro.ml.model_selection", "repro.api.cross_validate")},
+)
 
 __all__ = [
     "DecisionTreeClassifier",

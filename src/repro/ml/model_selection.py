@@ -13,6 +13,7 @@ from typing import Iterator, Protocol
 
 import numpy as np
 
+from repro import telemetry
 from repro.ml.metrics import EvalReport, evaluate_predictions
 from repro.parallel import parallel_map
 
@@ -86,9 +87,16 @@ def _fit_predict_fold(
 ) -> np.ndarray:
     """Fit a fold's clone and predict its test split (pool worker)."""
     estimator, X, y, train, test = task
-    model = clone(estimator)
-    model.fit(X[train], y[train])
-    return model.predict(X[test])
+    with telemetry.span(
+        "cv.fold", train_rows=int(train.shape[0]), test_rows=int(test.shape[0])
+    ) as sp:
+        model = clone(estimator)
+        with telemetry.span("cv.fold.fit"):
+            model.fit(X[train], y[train])
+        with telemetry.span("cv.fold.predict"):
+            predictions = model.predict(X[test])
+        sp.set(model=type(estimator).__name__)
+    return predictions
 
 
 def cross_val_predict(
@@ -112,13 +120,20 @@ def cross_val_predict(
     y = np.asarray(y)
     if X.shape[0] != y.shape[0]:
         raise ValueError("X and y length mismatch")
-    predictions = np.empty_like(y)
-    splitter = StratifiedKFold(n_splits=n_splits, random_state=random_state)
-    splits = list(splitter.split(y))
-    tasks = [(estimator, X, y, train, test) for train, test in splits]
-    fold_preds = parallel_map(_fit_predict_fold, tasks, n_jobs=n_jobs, chunksize=1)
-    for (_, test), pred in zip(splits, fold_preds):
-        predictions[test] = pred
+    with telemetry.span(
+        "cv",
+        folds=n_splits,
+        rows=int(X.shape[0]),
+        model=type(estimator).__name__,
+    ):
+        predictions = np.empty_like(y)
+        splitter = StratifiedKFold(n_splits=n_splits, random_state=random_state)
+        splits = list(splitter.split(y))
+        tasks = [(estimator, X, y, train, test) for train, test in splits]
+        fold_preds = parallel_map(_fit_predict_fold, tasks, n_jobs=n_jobs, chunksize=1)
+        for (_, test), pred in zip(splits, fold_preds):
+            predictions[test] = pred
+        telemetry.count("cv.folds", n_splits)
     return predictions
 
 

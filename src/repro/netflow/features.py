@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.collection.dataset import Dataset
 from repro.features.tls_features import (
     TLS_FEATURE_NAMES,
@@ -125,27 +126,29 @@ def extract_flow_matrix(
     """
     if len(dataset) == 0:
         return np.empty((0, len(FLOW_FEATURE_NAMES))), FLOW_FEATURE_NAMES
-    per_session = [export_flows(record, config) for record in dataset]
-    if any(not flows for flows in per_session):
-        raise ValueError("a session needs at least one flow record")
-    table, pkts_up, pkts_down = _flow_table(per_session)
-    base = extract_tls_table(table)
+    with telemetry.span("features.flow", sessions=len(dataset)) as sp:
+        per_session = [export_flows(record, config) for record in dataset]
+        if any(not flows for flows in per_session):
+            raise ValueError("a session needs at least one flow record")
+        table, pkts_up, pkts_down = _flow_table(per_session)
+        sp.set(flows=table.n_rows)
+        base = extract_tls_table(table)
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        size_down = np.where(
-            pkts_down > 0, table.downlink / np.maximum(pkts_down, 1), 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            size_down = np.where(
+                pkts_down > 0, table.downlink / np.maximum(pkts_down, 1), 0.0
+            )
+            size_up = np.where(pkts_up > 0, table.uplink / np.maximum(pkts_up, 1), 0.0)
+        offsets = table.offsets
+        segment_ids = table.session_ids
+        _, med_down, _ = segment_min_med_max(size_down, offsets, segment_ids)
+        _, med_up, _ = segment_min_med_max(size_up, offsets, segment_ids)
+        lo = offsets[:-1]
+        session_span = np.maximum.reduceat(table.end, lo) - np.minimum.reduceat(
+            table.start, lo
         )
-        size_up = np.where(pkts_up > 0, table.uplink / np.maximum(pkts_up, 1), 0.0)
-    offsets = table.offsets
-    segment_ids = table.session_ids
-    _, med_down, _ = segment_min_med_max(size_down, offsets, segment_ids)
-    _, med_up, _ = segment_min_med_max(size_up, offsets, segment_ids)
-    lo = offsets[:-1]
-    session_span = np.maximum.reduceat(table.end, lo) - np.minimum.reduceat(
-        table.start, lo
-    )
-    pkts_per_sec = (
-        segment_sum(pkts_down, offsets) + segment_sum(pkts_up, offsets)
-    ) / np.maximum(session_span, 1e-9)
-    X = np.column_stack([base, med_down, med_up, pkts_per_sec])
+        pkts_per_sec = (
+            segment_sum(pkts_down, offsets) + segment_sum(pkts_up, offsets)
+        ) / np.maximum(session_span, 1e-9)
+        X = np.column_stack([base, med_down, med_up, pkts_per_sec])
     return X, FLOW_FEATURE_NAMES

@@ -30,10 +30,10 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["JOBS_ENV_VAR", "resolve_jobs", "parallel_map", "shutdown"]
+from repro import telemetry
+from repro.config import JOBS_ENV_VAR, get_config, set_jobs
 
-#: Environment variable controlling the default worker count.
-JOBS_ENV_VAR = "REPRO_JOBS"
+__all__ = ["JOBS_ENV_VAR", "resolve_jobs", "parallel_map", "shutdown"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -50,29 +50,22 @@ def _worker_init() -> None:
     """Runs in every pool worker: force nested work sequential."""
     global _IN_WORKER
     _IN_WORKER = True
-    os.environ[JOBS_ENV_VAR] = "1"
+    set_jobs(1)
 
 
 def resolve_jobs(n_jobs: int | None = None) -> int:
     """Concrete worker count for an ``n_jobs`` argument.
 
-    ``None`` defers to ``REPRO_JOBS`` (itself defaulting to
-    ``os.cpu_count()``); ``-1`` means all cores; positive values are
-    taken as-is.  Inside a pool worker this always returns 1.
+    ``None`` defers to the resolved config's ``jobs`` (``REPRO_JOBS``,
+    itself defaulting to ``os.cpu_count()``); ``-1`` means all cores;
+    positive values are taken as-is.  Inside a pool worker this always
+    returns 1.
     """
     if _IN_WORKER:
         return 1
     if n_jobs is None:
-        env = os.environ.get(JOBS_ENV_VAR)
-        if env:
-            try:
-                n_jobs = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{JOBS_ENV_VAR} must be an integer (>= 1 or -1), "
-                    f"got {env!r}"
-                ) from None
-        else:
+        n_jobs = get_config().jobs
+        if n_jobs is None:
             n_jobs = -1
     if n_jobs == -1:
         return os.cpu_count() or 1
@@ -111,6 +104,25 @@ def shutdown() -> None:
 atexit.register(shutdown)
 
 
+class _TracedTask:
+    """Wraps a task so worker-side telemetry rides back with the result.
+
+    Each call runs under a fresh :func:`repro.telemetry.subtrace`; the
+    exported events/counters return alongside the task's result and are
+    merged into the parent tracer by :func:`parallel_map`.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T], R]):
+        self.fn = fn
+
+    def __call__(self, item: T) -> tuple[R, dict]:
+        with telemetry.subtrace() as tracer:
+            result = self.fn(item)
+        return result, tracer.export()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T] | Sequence[T],
@@ -126,19 +138,32 @@ def parallel_map(
     sandbox) — the parallel path is an optimization, never a
     requirement.
 
+    When telemetry is active, each task records into a private subtrace
+    that is merged back (spans re-parented under the caller's open
+    span, counters summed) — one trace covers the whole fan-out.
+
     ``fn`` and every item must be picklable (``fn`` at module level).
     """
     items = list(items)
     jobs = min(resolve_jobs(n_jobs), len(items))
     if jobs <= 1:
         return [fn(item) for item in items]
+    tracer = telemetry.active_tracer()
+    task = _TracedTask(fn) if tracer is not None else fn
     if chunksize is None:
         # ~4 chunks per worker: coarse enough to amortize pickling,
         # fine enough to balance uneven task durations.
         chunksize = max(1, math.ceil(len(items) / (4 * jobs)))
     executor = _executor(jobs)
     try:
-        return list(executor.map(fn, items, chunksize=chunksize))
+        raw = list(executor.map(task, items, chunksize=chunksize))
     except BrokenProcessPool:
         _EXECUTORS.pop(jobs, None)
-        return [fn(item) for item in items]
+        raw = [task(item) for item in items]
+    if tracer is None:
+        return raw
+    results = []
+    for result, sub in raw:
+        tracer.merge_subtrace(sub)
+        results.append(result)
+    return results

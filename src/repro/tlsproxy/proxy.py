@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro import telemetry
 from repro.net.tcp import TcpConnection
 from repro.tlsproxy.records import TlsTransaction
 from repro.tlsproxy.table import TransactionTable
@@ -70,6 +71,7 @@ class TransparentProxy:
                 )
             records.append(connection_to_transaction(host, conn))
         records.sort(key=lambda r: (r.start, r.end))
+        telemetry.count("proxy.transactions", len(records))
         return records
 
     def export_table(self) -> TransactionTable:

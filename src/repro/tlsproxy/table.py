@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.tlsproxy.records import TlsTransaction, transactions_to_columns
 
 __all__ = [
@@ -157,17 +158,20 @@ class TransactionTable:
         cls, sessions: Sequence[Sequence[TlsTransaction]]
     ) -> "TransactionTable":
         """Build the table once for a corpus of per-session lists."""
-        counts = np.fromiter(
-            (len(s) for s in sessions), dtype=np.int64, count=len(sessions)
-        )
-        offsets = np.zeros(len(sessions) + 1, dtype=np.int64)
-        np.cumsum(counts, out=offsets[1:])
-        flat = [t for session in sessions for t in session]
-        start, end, uplink, downlink, sni = transactions_to_columns(flat)
-        return cls(
-            start=start, end=end, uplink=uplink, downlink=downlink,
-            offsets=offsets, sni=sni,
-        )
+        with telemetry.span("table.build", sessions=len(sessions)) as sp:
+            counts = np.fromiter(
+                (len(s) for s in sessions), dtype=np.int64, count=len(sessions)
+            )
+            offsets = np.zeros(len(sessions) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            flat = [t for session in sessions for t in session]
+            start, end, uplink, downlink, sni = transactions_to_columns(flat)
+            sp.set(transactions=len(flat))
+            telemetry.count("table.transactions", len(flat))
+            return cls(
+                start=start, end=end, uplink=uplink, downlink=downlink,
+                offsets=offsets, sni=sni,
+            )
 
     @classmethod
     def from_transactions(
