@@ -38,6 +38,27 @@ def svc1_corpus(corpora):
     return corpora["svc1"]
 
 
+@pytest.fixture(scope="session")
+def stream_workload():
+    """The streaming-engine load: 1000 concurrent user streams.
+
+    Every 10th stream goes idle after its first session, so eviction
+    fires deterministically; the returned expectations carry the exact
+    event/session/eviction counts for telemetry reconciliation.  The
+    shape is fixed (not ``REPRO_SCALE``-scaled) because the benchmark's
+    contract is specifically "1k+ concurrent streams".
+    """
+    from repro.stream.replay import synthetic_events
+
+    return synthetic_events(
+        n_streams=1000,
+        sessions_per_stream=2,
+        transactions_per_session=12,
+        seed=0,
+        short_stream_every=10,
+    )
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under the benchmark timer.
 

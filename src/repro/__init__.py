@@ -26,6 +26,9 @@ from repro._version import __version__
 
 __all__ = [
     "Config",
+    "StreamConfig",
+    "StreamDetector",
+    "StreamVerdict",
     "__version__",
     "collect_corpus",
     "cross_validate",
@@ -41,6 +44,9 @@ __all__ = [
 #: in numpy-heavy feature code.
 _API_NAMES = frozenset(
     {
+        "StreamConfig",
+        "StreamDetector",
+        "StreamVerdict",
         "collect_corpus",
         "cross_validate",
         "detect_sessions",

@@ -13,6 +13,9 @@ signatures::
     groups = repro.detect_sessions(transactions)
     results = repro.run_experiment("fig5")
 
+    detector = repro.StreamDetector(model)      # continuous feeds
+    verdicts = detector.ingest("user1/svc1", transaction)
+
 The deep module paths (``repro.collection.harness`` and friends)
 remain the implementation and keep working, but the *package-level*
 conveniences they used to be imported through
@@ -39,12 +42,16 @@ from repro.features.tls_features import TEMPORAL_INTERVALS, extract_tls_matrix
 from repro.ml.metrics import EvalReport
 from repro.ml.model_selection import cross_validate as _cross_validate
 from repro.sessions.boundary import BoundaryConfig, split_sessions
+from repro.stream.engine import StreamConfig, StreamDetector, StreamVerdict
 from repro.tlsproxy.records import TlsTransaction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.netflow.exporter import ExporterConfig
 
 __all__ = [
+    "StreamConfig",
+    "StreamDetector",
+    "StreamVerdict",
     "collect_corpus",
     "cross_validate",
     "detect_sessions",
@@ -120,6 +127,9 @@ def extract_features(
     -------
     (X, names):
         ``X`` has one row per session; ``names`` labels its columns.
+        A corpus of zero sessions yields a well-formed ``(0, len(names))``
+        matrix; a session with zero transactions raises a ``ValueError``
+        naming the offending session.
     """
     if kind == "tls":
         return extract_tls_matrix(dataset, intervals=intervals)
@@ -224,16 +234,22 @@ def detect_sessions(
     Parameters
     ----------
     transactions:
-        The proxy's transaction stream (any order; sorted internally).
+        The proxy's transaction stream (any order; sorted internally
+        with a content-based tie-break, so the grouping is invariant
+        to the input permutation even with tied start times).
     config:
         Boundary-heuristic knobs
         (:class:`~repro.sessions.boundary.BoundaryConfig`).
     min_transactions:
         Groups smaller than this merge into the preceding session.
+        Must be ``>= 1`` (``ValueError`` otherwise).
 
     Returns
     -------
-    Per-session transaction lists, in time order.
+    Per-session transaction lists, in time order.  An empty stream
+    returns ``[]``; a single transaction returns one single-element
+    session.  For continuous feeds, use :class:`StreamDetector`
+    instead of re-splitting a growing batch.
     """
     return split_sessions(transactions, config, min_transactions=min_transactions)
 

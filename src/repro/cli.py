@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Eight subcommands cover the operational workflow an ISP user of this
+Nine subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
     python -m repro train    --corpus corpus.json.gz -o model.pkl
     python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
     python -m repro split    --transactions stream.json [--demo svc1]
+    python -m repro stream   --corpus corpus.json.gz [--demo svc1] [--batch-check]
     python -m repro experiment fig5 table3 ...   (or: all, or --list)
     python -m repro cache    info|clear
     python -m repro config   show
@@ -51,6 +52,49 @@ from repro.sessions.workload import back_to_back_stream
 from repro.tlsproxy.records import TlsTransaction
 
 __all__ = ["main", "build_parser"]
+
+
+# -- argparse value validators -------------------------------------------
+# argparse turns ArgumentTypeError into a friendly two-line usage error
+# (exit code 2) naming the offending flag, instead of a traceback from
+# deep inside the pipeline.
+
+def _number(text: str, kind):
+    try:
+        return kind(text)
+    except ValueError:
+        name = "an integer" if kind is int else "a number"
+        raise argparse.ArgumentTypeError(f"{text!r} is not {name}") from None
+
+
+def _positive_int(text: str) -> int:
+    value = _number(text, int)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = _number(text, float)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 (got {text})")
+    return value
+
+
+def _nonneg_float(text: str) -> float:
+    value = _number(text, float)
+    if not value >= 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (got {text})")
+    return value
+
+
+def _unit_float(text: str) -> float:
+    value = _number(text, float)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in [0, 1] (got {text})"
+        )
+    return value
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
@@ -119,14 +163,33 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _load_transactions(path: str) -> list[TlsTransaction]:
-    rows = json.loads(Path(path).read_text())
-    return [
-        TlsTransaction(
-            start=r[0], end=r[1], uplink_bytes=int(r[2]),
-            downlink_bytes=int(r[3]), sni=r[4],
-        )
-        for r in rows
-    ]
+    """Load ``[[start, end, ul, dl, sni], ...]`` rows, with friendly errors.
+
+    Malformed input — unreadable file, invalid JSON, rows of the wrong
+    shape — raises :class:`ValueError` naming the file, which the
+    ``split``/``stream`` commands turn into an exit-2 message instead of
+    a traceback.  An empty list is valid and means "no transactions".
+    """
+    try:
+        rows = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(rows, list):
+        raise ValueError(f"{path}: expected a JSON array of transaction rows")
+    try:
+        return [
+            TlsTransaction(
+                start=float(r[0]), end=float(r[1]), uplink_bytes=int(r[2]),
+                downlink_bytes=int(r[3]), sni=r[4],
+            )
+            for r in rows
+        ]
+    except (TypeError, ValueError, IndexError, KeyError):
+        raise ValueError(
+            f"{path}: each row must be [start, end, uplink, downlink, sni]"
+        ) from None
 
 
 def _cmd_split(args: argparse.Namespace) -> int:
@@ -138,7 +201,11 @@ def _cmd_split(args: argparse.Namespace) -> int:
             f"{stream.n_sessions} true sessions"
         )
     elif args.transactions:
-        transactions = _load_transactions(args.transactions)
+        try:
+            transactions = _load_transactions(args.transactions)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
         print("error: provide --transactions FILE or --demo SERVICE", file=sys.stderr)
         return 2
@@ -146,6 +213,11 @@ def _cmd_split(args: argparse.Namespace) -> int:
         window_s=args.window, n_min=args.n_min, delta_min=args.delta_min
     )
     groups = split_sessions(transactions, config, min_transactions=args.min_transactions)
+    if not groups:
+        # A zero-transaction stream is valid input with a well-defined
+        # (empty) answer, not a crash.
+        print("detected 0 sessions (no transactions in the stream)")
+        return 0
     print(f"detected {len(groups)} sessions:")
     model_payload = (
         pickle.loads(Path(args.model).read_bytes()) if args.model else None
@@ -165,6 +237,89 @@ def _cmd_split(args: argparse.Namespace) -> int:
         if categories is not None:
             line += f", estimated QoE: {COMBINED_NAMES[int(categories[i])]}"
         print(line)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream.engine import StreamConfig, StreamDetector
+    from repro.stream.replay import (
+        check_batch_equivalence,
+        dataset_streams,
+        demo_streams,
+        interleave,
+        replay,
+    )
+
+    if args.demo:
+        streams = demo_streams(
+            args.demo, args.streams, args.demo_sessions, seed=args.seed
+        )
+    elif args.corpus:
+        dataset = Dataset.load(args.corpus)
+        streams = dataset_streams(dataset, args.streams, gap_s=args.gap)
+    elif args.transactions:
+        try:
+            transactions = _load_transactions(args.transactions)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        streams = {"stream000": transactions} if transactions else {}
+    else:
+        print(
+            "error: provide --corpus FILE, --transactions FILE or --demo SERVICE",
+            file=sys.stderr,
+        )
+        return 2
+
+    model = None
+    if args.model:
+        model = pickle.loads(Path(args.model).read_bytes())["model"]
+    config = StreamConfig(
+        boundary=BoundaryConfig(
+            window_s=args.window, n_min=args.n_min, delta_min=args.delta_min
+        ),
+        min_transactions=args.min_transactions,
+        idle_timeout_s=args.idle_timeout,
+        max_streams=args.max_streams,
+    )
+    detector = StreamDetector(model, config=config)
+    events = interleave(streams)
+    verdicts = replay(detector, events, micro_batch=args.batch)
+    stats = detector.stats()
+
+    n_streams = len(streams)
+    print(
+        f"replayed {stats['ingested']} events over {n_streams} streams "
+        f"(micro-batches of {args.batch}): {len(verdicts)} session verdicts"
+    )
+    reasons: dict[str, int] = {}
+    for v in verdicts:
+        reasons[v.reason] = reasons.get(v.reason, 0) + 1
+    for reason in ("boundary", "flush", "eviction"):
+        if reason in reasons:
+            print(f"  closed by {reason}: {reasons[reason]}")
+    if model is not None and verdicts:
+        dist: dict[int, int] = {}
+        for v in verdicts:
+            dist[v.category] = dist.get(v.category, 0) + 1
+        qoe = ", ".join(
+            f"{COMBINED_NAMES[c]}: {dist[c]}" for c in sorted(dist)
+        )
+        print(f"  estimated QoE: {qoe}")
+    print(
+        f"counters: ingested={stats['ingested']} scored={stats['scored']} "
+        f"evicted={stats['evicted']} late_dropped={stats['late_dropped']}"
+    )
+    if args.batch_check:
+        try:
+            check_batch_equivalence(streams, verdicts, model, config=config)
+        except AssertionError as exc:
+            print(f"batch equivalence FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"batch equivalence: OK ({len(verdicts)} streaming verdicts match "
+            "the batch pipeline bit-for-bit)"
+        )
     return 0
 
 
@@ -290,14 +445,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transactions", help="JSON: [[start,end,ul,dl,sni],...]")
     p.add_argument("--demo", choices=("svc1", "svc2", "svc3"),
                    help="generate a demo back-to-back stream instead")
-    p.add_argument("--demo-sessions", type=int, default=6)
+    p.add_argument("--demo-sessions", type=_positive_int, default=6)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--window", type=float, default=3.0)
-    p.add_argument("--n-min", type=int, default=2)
-    p.add_argument("--delta-min", type=float, default=0.5)
-    p.add_argument("--min-transactions", type=int, default=5)
+    p.add_argument("--window", type=_positive_float, default=3.0,
+                   help="boundary lookahead W in seconds (> 0)")
+    p.add_argument("--n-min", type=_positive_int, default=2,
+                   help="minimum succeeding-burst size (>= 1)")
+    p.add_argument("--delta-min", type=_unit_float, default=0.5,
+                   help="unseen-server fraction threshold in [0, 1]")
+    p.add_argument("--min-transactions", type=_positive_int, default=5)
     p.add_argument("--model", help="optionally score each detected session")
     p.set_defaults(func=_cmd_split)
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a feed through the online streaming detector",
+        description="Replay a corpus, a transaction file, or a demo "
+                    "workload as a timestamped event stream through "
+                    "repro.api.StreamDetector and report the verdicts.",
+    )
+    p.add_argument("--corpus", help="dataset JSON (from 'collect') to replay")
+    p.add_argument("--transactions", help="JSON: [[start,end,ul,dl,sni],...]")
+    p.add_argument("--demo", choices=("svc1", "svc2", "svc3"),
+                   help="generate demo per-user streams instead")
+    p.add_argument("--streams", type=_positive_int, default=4,
+                   help="concurrent user streams to spread the feed over")
+    p.add_argument("--demo-sessions", type=_positive_int, default=3,
+                   help="sessions per demo stream")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gap", type=_nonneg_float, default=4.0,
+                   help="idle seconds between corpus sessions on one stream")
+    p.add_argument("--window", type=_positive_float, default=3.0,
+                   help="boundary lookahead W in seconds (> 0)")
+    p.add_argument("--n-min", type=_positive_int, default=2,
+                   help="minimum succeeding-burst size (>= 1)")
+    p.add_argument("--delta-min", type=_unit_float, default=0.5,
+                   help="unseen-server fraction threshold in [0, 1]")
+    p.add_argument("--min-transactions", type=_positive_int, default=5)
+    p.add_argument("--idle-timeout", type=_positive_float, default=900.0,
+                   help="evict streams idle this many event-time seconds")
+    p.add_argument("--max-streams", type=_positive_int, default=10_000,
+                   help="concurrent-stream cap (stalest evicted first)")
+    p.add_argument("--batch", type=_positive_int, default=256,
+                   help="replay micro-batch size")
+    p.add_argument("--model", help="pickled model from 'train' to score sessions")
+    p.add_argument("--batch-check", action="store_true",
+                   help="verify streaming verdicts equal the batch "
+                        "pipeline bit-for-bit (exit 1 on mismatch)")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("experiment", help="run paper experiments by name")
     p.add_argument("names", nargs="*",

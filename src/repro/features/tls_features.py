@@ -170,7 +170,12 @@ def extract_tls_table(
     """
     counts = table.counts
     if np.any(counts == 0):
-        raise ValueError("a session needs at least one TLS transaction")
+        empty = int(np.flatnonzero(counts == 0)[0])
+        raise ValueError(
+            f"session {empty} has no TLS transactions; drop empty sessions "
+            "before feature extraction (every session needs at least one "
+            "transaction)"
+        )
     starts, ends = table.start, table.end
     uplink, downlink = table.uplink, table.downlink
     offsets = table.offsets

@@ -24,7 +24,38 @@ from repro.ml.metrics import confusion_matrix
 from repro.tlsproxy.records import TlsTransaction
 from repro.tlsproxy.table import TransactionTable
 
-__all__ = ["BoundaryConfig", "detect_session_starts", "evaluate_boundary_detection"]
+__all__ = [
+    "BoundaryConfig",
+    "detect_session_starts",
+    "evaluate_boundary_detection",
+    "transaction_sort_key",
+]
+
+
+def transaction_sort_key(txn: TlsTransaction) -> tuple:
+    """The canonical transaction ordering of the boundary heuristic.
+
+    Ties on ``start`` are broken by the transaction's own content —
+    ``(start, end, uplink, downlink, sni)`` — so the heuristic's output
+    is a function of the transaction *multiset*, not of the order the
+    caller happened to supply the rows in.  :func:`split_sessions`, the
+    columnar path of :func:`detect_session_starts` and the streaming
+    engine (:mod:`repro.stream`) all sort by exactly this key.
+    """
+    return (txn.start, txn.end, txn.uplink_bytes, txn.downlink_bytes, txn.sni)
+
+
+def _canonical_order(table: TransactionTable) -> np.ndarray:
+    """Row permutation sorting a table by :func:`transaction_sort_key`."""
+    return np.lexsort(
+        (
+            np.asarray(table.sni),
+            table.downlink,
+            table.uplink,
+            table.end,
+            table.start,
+        )
+    )
 
 
 @dataclass(frozen=True)
@@ -53,23 +84,30 @@ def detect_session_starts(
     ``transactions`` is the merged stream a proxy sees for one
     (user, service) pair — a transaction sequence or a columnar
     :class:`~repro.tlsproxy.table.TransactionTable` (e.g. from
-    :meth:`TransparentProxy.export_table`).  Returns a boolean array
-    aligned with the stream sorted by start time; the caller should
-    sort first (the function sorts internally and maps flags back to
-    the input order).
+    :meth:`TransparentProxy.export_table`).  The returned boolean array
+    is aligned with the *input* order: the function sorts internally by
+    :func:`transaction_sort_key` — ``(start, end, uplink, downlink,
+    sni)``, a content-based tie-break, so transactions sharing a start
+    time are flagged identically for every input permutation — and
+    maps the flags back.
 
     The first transaction of the stream is always a session start.
+    An empty stream yields an empty flag array; a stream of one
+    transaction yields ``[True]``.
     """
     config = config or BoundaryConfig()
     if not isinstance(transactions, TransactionTable):
         transactions = TransactionTable.from_transactions(transactions)
     if transactions.sni is None:
-        raise ValueError("boundary detection needs the table's SNI column")
+        raise ValueError(
+            "boundary detection needs the table's SNI column; build the "
+            "table with sni hostnames (TransactionTable(..., sni=...))"
+        )
     n = transactions.n_rows
     if n == 0:
         return np.zeros(0, dtype=bool)
     starts = transactions.start
-    order = np.argsort(starts, kind="stable")
+    order = _canonical_order(transactions)
     sorted_starts = starts[order]
     sorted_snis = [transactions.sni[i] for i in order]
 
@@ -113,12 +151,16 @@ def split_sessions(
     ``min_transactions`` — usually spurious boundaries triggered by
     mid-session CDN switches — are merged into the preceding session,
     a practical post-filter an ISP deployment would apply.
+
+    An empty stream returns an empty list.  Transactions are ordered
+    by :func:`transaction_sort_key`, so the grouping is invariant to
+    the input permutation even with tied start times.
     """
     if min_transactions < 1:
         raise ValueError("min_transactions must be >= 1")
     if not transactions:
         return []
-    ordered = sorted(transactions, key=lambda t: (t.start, t.end))
+    ordered = sorted(transactions, key=transaction_sort_key)
     flags = detect_session_starts(ordered, config)
     groups: list[list[TlsTransaction]] = []
     for txn, is_start in zip(ordered, flags):

@@ -21,8 +21,11 @@ def small_corpus():
 
 
 class TestSignatures:
-    def test_facade_exports_the_six_entry_points(self):
+    def test_facade_exports_the_supported_surface(self):
         assert api.__all__ == [
+            "StreamConfig",
+            "StreamDetector",
+            "StreamVerdict",
             "collect_corpus",
             "cross_validate",
             "detect_sessions",
@@ -32,7 +35,12 @@ class TestSignatures:
         ]
 
     @pytest.mark.parametrize(
-        "name", [n for n in api.__all__ if n != "run_experiment"]
+        "name",
+        [
+            n
+            for n in api.__all__
+            if n != "run_experiment" and not inspect.isclass(getattr(api, n))
+        ],
     )
     def test_options_are_keyword_only(self, name):
         params = list(inspect.signature(getattr(api, name)).parameters.values())
@@ -50,11 +58,20 @@ class TestSignatures:
             doc = getattr(api, name).__doc__
             assert doc and len(doc.splitlines()) > 1, name
 
+    def test_stream_detector_options_are_keyword_only(self):
+        params = list(
+            inspect.signature(api.StreamDetector.__init__).parameters.values()
+        )
+        for param in params[2:]:  # after self, model
+            assert param.kind is inspect.Parameter.KEYWORD_ONLY, param.name
+
     def test_package_reexports_facade_lazily(self):
         assert repro.collect_corpus is api.collect_corpus
         assert repro.extract_features is api.extract_features
+        assert repro.StreamDetector is api.StreamDetector
         assert repro.get_config is get_config
         assert "train_model" in dir(repro)
+        assert "StreamDetector" in dir(repro)
         with pytest.raises(AttributeError):
             repro.no_such_name
 
@@ -101,6 +118,32 @@ class TestFacadeBehaviour:
         assert api.detect_sessions(transactions, min_transactions=5) == (
             split_sessions(transactions, min_transactions=5)
         )
+
+    def test_detect_sessions_degenerate_inputs(self):
+        from repro.tlsproxy.records import TlsTransaction
+
+        assert api.detect_sessions([]) == []
+        t = TlsTransaction(
+            start=0.0, end=1.0, uplink_bytes=100, downlink_bytes=1000, sni="www"
+        )
+        assert api.detect_sessions([t], min_transactions=5) == [[t]]
+        with pytest.raises(ValueError, match="min_transactions"):
+            api.detect_sessions([t], min_transactions=0)
+
+    def test_extract_features_names_empty_sessions(self, small_corpus):
+        from repro.features.tls_features import extract_tls_matrix
+        from repro.tlsproxy.table import TransactionTable
+
+        table = TransactionTable(
+            start=np.array([0.0]),
+            end=np.array([1.0]),
+            uplink=np.array([10.0]),
+            downlink=np.array([100.0]),
+            offsets=np.array([0, 1, 1]),  # session 1 owns zero rows
+            sni=("www",),
+        )
+        with pytest.raises(ValueError, match="session 1 has no TLS transactions"):
+            extract_tls_matrix(table)
 
     def test_run_experiment_rejects_unknown_name(self):
         from repro.experiments.registry import UnknownExperimentError

@@ -106,6 +106,123 @@ class TestSplit:
         assert "estimated QoE" in out
 
 
+class TestArgumentValidation:
+    """Out-of-range knobs die with a friendly argparse message (exit
+    code 2), not a traceback from deep inside the pipeline."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["split", "--demo", "svc1", "--window", "0"],
+            ["split", "--demo", "svc1", "--window", "-2"],
+            ["split", "--demo", "svc1", "--n-min", "-3"],
+            ["split", "--demo", "svc1", "--n-min", "0"],
+            ["split", "--demo", "svc1", "--delta-min", "1.5"],
+            ["split", "--demo", "svc1", "--delta-min", "-0.1"],
+            ["split", "--demo", "svc1", "--min-transactions", "0"],
+            ["split", "--demo", "svc1", "--demo-sessions", "0"],
+            ["stream", "--demo", "svc1", "--window", "0"],
+            ["stream", "--demo", "svc1", "--n-min", "0"],
+            ["stream", "--demo", "svc1", "--delta-min", "2"],
+            ["stream", "--demo", "svc1", "--idle-timeout", "0"],
+            ["stream", "--demo", "svc1", "--max-streams", "0"],
+            ["stream", "--demo", "svc1", "--streams", "0"],
+            ["stream", "--demo", "svc1", "--batch", "0"],
+            ["stream", "--demo", "svc1", "--gap", "-1"],
+            ["stream", "--demo", "svc1", "--window", "huh"],
+        ],
+    )
+    def test_out_of_range_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: argument" in err
+        assert "Traceback" not in err
+
+    def test_message_names_the_constraint(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["split", "--demo", "svc1",
+                                       "--delta-min", "1.5"])
+        assert "[0, 1]" in capsys.readouterr().err
+
+
+class TestSplitDegenerateInputs:
+    def test_empty_transaction_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        assert main(["split", "--transactions", str(path)]) == 0
+        assert "detected 0 sessions" in capsys.readouterr().out
+
+    def test_single_transaction_file(self, tmp_path, capsys):
+        path = tmp_path / "one.json"
+        path.write_text(json.dumps([[0.0, 1.0, 100, 1000, "www"]]))
+        assert main(["split", "--transactions", str(path)]) == 0
+        assert "session 1: 1 transactions" in capsys.readouterr().out
+
+    def test_invalid_json_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        assert main(["split", "--transactions", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_wrong_row_shape_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "rows.json"
+        path.write_text(json.dumps([[1.0, 2.0]]))
+        assert main(["split", "--transactions", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "[start, end, uplink, downlink, sni]" in err
+
+    def test_missing_file_is_a_friendly_error(self, tmp_path, capsys):
+        assert main(["split", "--transactions",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    def test_requires_input(self, capsys):
+        assert main(["stream"]) == 2
+        assert "--demo" in capsys.readouterr().err
+
+    def test_demo_replay_with_batch_check(self, capsys):
+        assert main(["stream", "--demo", "svc1", "--streams", "2",
+                     "--demo-sessions", "2", "--seed", "4",
+                     "--batch-check"]) == 0
+        out = capsys.readouterr().out
+        assert "session verdicts" in out
+        assert "batch equivalence: OK" in out
+
+    def test_corpus_replay_with_model(self, corpus_path, model_path, capsys):
+        assert main(["stream", "--corpus", str(corpus_path),
+                     "--streams", "3", "--model", str(model_path),
+                     "--batch-check"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated QoE" in out
+        assert "batch equivalence: OK" in out
+
+    def test_empty_feed_is_well_defined(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("[]")
+        assert main(["stream", "--transactions", str(path)]) == 0
+        assert "0 session verdicts" in capsys.readouterr().out
+
+    def test_trace_records_stream_spans(self, tmp_path, capsys):
+        from repro import telemetry
+
+        trace = tmp_path / "stream.jsonl"
+        assert main(["--trace", str(trace), "stream", "--demo", "svc3",
+                     "--streams", "2", "--demo-sessions", "2",
+                     "--batch-check"]) == 0
+        events = telemetry.validate_trace(trace)
+        spans = {e["name"] for e in events if e.get("type") == "span"}
+        assert {"command", "stream.ingest", "stream.score"} <= spans
+        counters = {
+            e["name"] for e in events if e.get("type") == "counter"
+        }
+        assert {"stream.ingested", "stream.scored"} <= counters
+
+
 class TestExperimentCommand:
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "not_a_real_one"]) == 2

@@ -1,5 +1,7 @@
 """Tests for repro.sessions (boundary heuristic + workload)."""
 
+import random
+
 import numpy as np
 import pytest
 
@@ -7,9 +9,12 @@ from repro.sessions.boundary import (
     BoundaryConfig,
     detect_session_starts,
     evaluate_boundary_detection,
+    split_sessions,
+    transaction_sort_key,
 )
 from repro.sessions.workload import back_to_back_stream
 from repro.tlsproxy.records import TlsTransaction
+from repro.tlsproxy.table import TransactionTable
 
 
 def txn(start, sni, end=None):
@@ -117,6 +122,83 @@ class TestDetectSessionStarts:
         wide = detect_session_starts(stream, BoundaryConfig(window_s=15.0))
         assert narrow.sum() == 1  # burst too slow for W=3
         assert wide.sum() == 2
+
+
+def _tied_stream():
+    """Two sessions whose boundary burst shares one start timestamp —
+    the case where an input-order tie-break made results depend on the
+    caller's row ordering."""
+    return [
+        txn(0.0, "www"),
+        txn(0.0, "edge1", end=2.5),
+        txn(1.0, "edge2"),
+        txn(60.0, "www", end=63.0),
+        txn(60.0, "edge7", end=61.0),
+        txn(60.0, "edge8", end=62.0),
+    ]
+
+
+class TestTieBreakDeterminism:
+    """Regression: tied start times are broken by transaction content,
+    never by input position."""
+
+    def test_flags_are_permutation_invariant(self):
+        stream = _tied_stream()
+
+        def flagged(perm):
+            flags = detect_session_starts(perm)
+            return {
+                transaction_sort_key(t) for t, f in zip(perm, flags) if f
+            }
+
+        reference = flagged(stream)
+        assert len(reference) == 2  # both sessions detected
+        rng = random.Random(7)
+        for _ in range(20):
+            perm = stream[:]
+            rng.shuffle(perm)
+            assert flagged(perm) == reference
+
+    def test_split_is_permutation_invariant(self):
+        stream = _tied_stream()
+        reference = split_sessions(stream, min_transactions=1)
+        assert len(reference) == 2
+        rng = random.Random(11)
+        for _ in range(10):
+            perm = stream[:]
+            rng.shuffle(perm)
+            assert split_sessions(perm, min_transactions=1) == reference
+
+    def test_duplicate_rows_stay_together(self):
+        """Even fully identical rows are grouped deterministically."""
+        stream = _tied_stream() + [txn(60.0, "edge7", end=61.0)]
+        a = split_sessions(stream, min_transactions=1)
+        b = split_sessions(list(reversed(stream)), min_transactions=1)
+        assert a == b
+
+    def test_table_without_sni_is_rejected(self):
+        table = TransactionTable(
+            start=np.array([0.0, 1.0]),
+            end=np.array([1.0, 2.0]),
+            uplink=np.array([10.0, 10.0]),
+            downlink=np.array([100.0, 100.0]),
+            offsets=np.array([0, 2]),
+        )
+        with pytest.raises(ValueError, match="SNI column"):
+            detect_session_starts(table)
+
+
+class TestSplitSessionsDegenerateInputs:
+    def test_empty_stream_returns_empty_list(self):
+        assert split_sessions([]) == []
+
+    def test_single_transaction_is_one_session(self):
+        t = txn(0.0, "www")
+        assert split_sessions([t], min_transactions=5) == [[t]]
+
+    def test_min_transactions_validated(self):
+        with pytest.raises(ValueError, match="min_transactions"):
+            split_sessions([txn(0.0, "www")], min_transactions=0)
 
 
 class TestEvaluateBoundaryDetection:

@@ -1,0 +1,327 @@
+"""Tests for the streaming inference engine (repro.stream).
+
+The load-bearing contract is *golden equivalence*: replaying any feed
+through :class:`~repro.stream.engine.StreamDetector` must emit exactly
+the verdicts of the batch pipeline — same session groups, bit-identical
+feature vectors, same model categories — for every micro-batch size,
+worker count, and service.  The remaining classes cover the pieces that
+make that possible (incremental features, watermark gating, the
+undersized-tail merge) and the operational edges (eviction, late data,
+telemetry reconciliation).
+"""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro import telemetry
+from repro.config import override
+from repro.features.tls_features import extract_tls_features, feature_names
+from repro.sessions.boundary import split_sessions, transaction_sort_key
+from repro.sessions.workload import back_to_back_stream
+from repro.stream.engine import StreamConfig, StreamDetector
+from repro.stream.features import SessionAccumulator
+from repro.stream.replay import (
+    check_batch_equivalence,
+    demo_streams,
+    interleave,
+    replay,
+    synthetic_events,
+)
+from repro.tlsproxy.records import TlsTransaction
+
+
+def txn(start, sni, end=None, uplink=100, downlink=1000):
+    return TlsTransaction(
+        start=start,
+        end=end if end is not None else start + 1.0,
+        uplink_bytes=uplink,
+        downlink_bytes=downlink,
+        sni=sni,
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    dataset = api.collect_corpus("svc3", n_sessions=24, seed=5, jobs=1)
+    X, _ = api.extract_features(dataset)
+    return api.train_model(
+        X,
+        dataset.labels("combined"),
+        model={"kind": "random_forest", "n_estimators": 10, "random_state": 0},
+    )
+
+
+class TestGoldenEquivalence:
+    """Streaming verdicts == batch pipeline verdicts, bit for bit."""
+
+    @pytest.mark.parametrize("service", ["svc1", "svc3"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_streaming_equals_batch(self, service, jobs, model):
+        streams = demo_streams(service, 3, 3, seed=7)
+        with override("test", jobs=jobs):
+            detector = StreamDetector(model)
+            verdicts = replay(detector, interleave(streams), micro_batch=64)
+            check_batch_equivalence(streams, verdicts, model)
+
+    def test_single_event_ingest_equals_micro_batch(self, model):
+        streams = demo_streams("svc3", 2, 2, seed=3)
+        events = interleave(streams)
+
+        one = StreamDetector(model)
+        singly = []
+        for key, t in events:
+            singly.extend(one.ingest(key, t))
+        singly.extend(one.flush())
+
+        many = StreamDetector(model)
+        batched = replay(many, events, micro_batch=128)
+
+        assert len(singly) == len(batched)
+        for a, b in zip(singly, batched):
+            assert (a.stream, a.session_index) == (b.stream, b.session_index)
+            assert np.array_equal(a.features, b.features)
+            assert a.category == b.category
+
+    def test_tied_start_times_agree_with_batch(self):
+        stream = [
+            txn(0.0, "www"),
+            txn(0.0, "edge1", end=2.5),
+            txn(1.0, "edge2"),
+            txn(60.0, "www", end=63.0),
+            txn(60.0, "edge7", end=61.0),
+            txn(60.0, "edge8", end=62.0),
+        ]
+        config = StreamConfig(min_transactions=1)
+        detector = StreamDetector(config=config)
+        verdicts = replay(detector, interleave({"u": stream}), micro_batch=1)
+        groups = split_sessions(
+            sorted(stream, key=transaction_sort_key), min_transactions=1
+        )
+        assert [v.n_transactions for v in verdicts] == [len(g) for g in groups]
+        check_batch_equivalence({"u": stream}, verdicts, config=config)
+
+    def test_verdicts_stream_out_before_the_feed_ends(self):
+        """Boundary-closed sessions are emitted online, not at flush."""
+        streams = demo_streams("svc1", 1, 4, seed=2)
+        detector = StreamDetector(config=StreamConfig(score_batch=1))
+        events = interleave(streams)
+        early = detector.ingest_many(events)
+        late = detector.flush()
+        assert len(early) >= 1
+        assert all(v.reason == "boundary" for v in early)
+        assert all(v.reason == "flush" for v in late)
+        check_batch_equivalence(streams, early + late)
+
+    def test_undersized_tail_merges_backwards(self):
+        """A trailing group below min_transactions joins its
+        predecessor, exactly like the batch post-filter."""
+        stream = [
+            txn(0.0, "www"),
+            txn(0.2, "edge1"),
+            txn(0.4, "edge2"),
+            txn(5.0, "edge1"),
+            txn(9.0, "edge2"),
+            # Boundary-worthy burst, but only 2 transactions follow.
+            txn(60.0, "edge8"),
+            txn(60.5, "edge9"),
+        ]
+        config = StreamConfig(min_transactions=5)
+        detector = StreamDetector(config=config)
+        verdicts = replay(detector, interleave({"u": stream}), micro_batch=1)
+        assert len(verdicts) == 1
+        assert verdicts[0].n_transactions == len(stream)
+        check_batch_equivalence({"u": stream}, verdicts, config=config)
+
+
+class TestSessionAccumulator:
+    def _session(self, seed=1):
+        stream = back_to_back_stream("svc3", 1, seed=seed)
+        return sorted(stream.transactions, key=transaction_sort_key)
+
+    def test_finalize_bit_identical_to_batch_extractor(self):
+        group = self._session()
+        acc = SessionAccumulator()
+        for t in group:
+            acc.add(t.start, t.end, t.uplink_bytes, t.downlink_bytes)
+        assert np.array_equal(acc.finalize(), extract_tls_features(group))
+
+    def test_finalize_does_not_consume(self):
+        group = self._session(seed=2)
+        acc = SessionAccumulator()
+        for t in group:
+            acc.add(t.start, t.end, t.uplink_bytes, t.downlink_bytes)
+        first = acc.finalize()
+        assert np.array_equal(first, acc.finalize())
+        # Merging more rows afterwards still works (tail-merge path).
+        acc.add(group[-1].end + 1.0, group[-1].end + 2.0, 10.0, 100.0)
+        assert acc.n == len(group) + 1
+
+    def test_snapshot_is_a_live_running_view(self):
+        acc = SessionAccumulator()
+        acc.add(0.0, 2.0, 100.0, 1000.0)
+        view = acc.snapshot()
+        assert view["n_transactions"] == 1.0
+        assert view["SES_DUR"] == pytest.approx(2.0)
+        acc.add(1.0, 10.0, 100.0, 4000.0)
+        grown = acc.snapshot()
+        assert grown["n_transactions"] == 2.0
+        assert grown["SES_DUR"] == pytest.approx(10.0)
+        assert grown["CUM_DL_30s"] == pytest.approx(5000.0)
+
+    def test_vector_matches_schema_width(self):
+        acc = SessionAccumulator()
+        acc.add(0.0, 1.0, 10.0, 100.0)
+        assert acc.finalize().shape == (len(feature_names()),)
+
+    def test_out_of_order_add_rejected(self):
+        acc = SessionAccumulator()
+        acc.add(10.0, 11.0, 10.0, 100.0)
+        with pytest.raises(ValueError, match="canonical time order"):
+            acc.add(9.0, 12.0, 10.0, 100.0)
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SessionAccumulator().finalize()
+
+
+class TestStreamConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_transactions": 0},
+            {"idle_timeout_s": 0.0},
+            {"max_streams": 0},
+            {"score_batch": 0},
+            {"intervals": ()},
+            {"late_policy": "buffer"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StreamConfig(**kwargs)
+
+    def test_defaults_match_batch_pipeline(self):
+        config = StreamConfig()
+        assert config.boundary.window_s == 3.0
+        assert config.min_transactions == 5
+
+
+class TestEviction:
+    def _config(self, **kwargs):
+        defaults = dict(min_transactions=1, idle_timeout_s=30.0)
+        defaults.update(kwargs)
+        return StreamConfig(**defaults)
+
+    def test_idle_stream_is_evicted_with_final_verdict(self):
+        detector = StreamDetector(config=self._config())
+        out = []
+        for t in [txn(0.0, "www"), txn(1.0, "edge1"), txn(2.0, "edge2")]:
+            out.extend(detector.ingest("idle", t))
+        # Another stream's traffic advances event time past the timeout.
+        out.extend(detector.ingest("busy", txn(100.0, "www")))
+        evicted = [v for v in out if v.reason == "eviction"]
+        assert [v.stream for v in evicted] == ["idle"]
+        assert evicted[0].n_transactions == 3
+        assert detector.active_streams == 1
+        assert detector.stats()["evicted"] == 1
+
+    def test_evicted_features_match_batch_over_same_transactions(self):
+        stream = [txn(0.0, "www"), txn(1.0, "edge1"), txn(2.0, "edge2")]
+        detector = StreamDetector(config=self._config())
+        out = []
+        for t in stream:
+            out.extend(detector.ingest("u", t))
+        out.extend(detector.ingest("other", txn(500.0, "www")))
+        (verdict,) = [v for v in out if v.stream == "u"]
+        assert np.array_equal(
+            verdict.features,
+            extract_tls_features(sorted(stream, key=transaction_sort_key)),
+        )
+
+    def test_reingest_after_eviction_starts_fresh(self):
+        detector = StreamDetector(config=self._config())
+        detector.ingest("u", txn(0.0, "www"))
+        out = detector.ingest("other", txn(100.0, "www"))
+        assert [v.session_index for v in out if v.stream == "u"] == [0]
+        # Same key again: a brand-new stream, indices restart at 0.
+        detector.ingest("u", txn(101.0, "edge1"))
+        final = detector.flush("u")
+        assert [(v.stream, v.session_index) for v in final] == [("u", 0)]
+
+    def test_capacity_cap_evicts_stalest_first(self):
+        detector = StreamDetector(config=self._config(max_streams=2))
+        detector.ingest("a", txn(0.0, "www"))
+        detector.ingest("b", txn(1.0, "www"))
+        detector.ingest("a", txn(2.0, "www"))  # refresh "a": "b" is stalest
+        out = detector.ingest("c", txn(3.0, "www"))
+        assert [v.stream for v in out if v.reason == "eviction"] == ["b"]
+        assert detector.active_streams == 2
+        assert set(detector._streams) == {"a", "c"}
+
+    def test_counters_reconcile_with_telemetry(self):
+        events, expected = synthetic_events(
+            n_streams=20,
+            sessions_per_stream=2,
+            transactions_per_session=8,
+            short_stream_every=5,
+        )
+        with telemetry.tracing() as tracer:
+            detector = StreamDetector(
+                config=StreamConfig(min_transactions=1, idle_timeout_s=50.0)
+            )
+            verdicts = replay(detector, events, micro_batch=64)
+        stats = detector.stats()
+        assert stats["ingested"] == expected["events"]
+        assert stats["scored"] == len(verdicts) == expected["sessions"]
+        assert stats["evicted"] == expected["short_streams"]
+        assert stats["late_dropped"] == 0
+        assert tracer.counters["stream.ingested"] == stats["ingested"]
+        assert tracer.counters["stream.scored"] == stats["scored"]
+        assert tracer.counters["stream.evicted"] == stats["evicted"]
+        assert tracer.gauges["stream.active"] == 0.0
+        assert tracer.hists["stream.decision_lag_s"][0] == stats["scored"]
+
+
+class TestLateData:
+    def test_late_arrival_is_counted_and_dropped(self):
+        detector = StreamDetector(config=StreamConfig(min_transactions=1))
+        detector.ingest("u", txn(10.0, "www"))
+        out = detector.ingest("u", txn(3.0, "edge1"))
+        assert out == []
+        assert detector.stats()["late_dropped"] == 1
+        assert detector.stats()["ingested"] == 1
+
+    def test_late_policy_error_raises(self):
+        detector = StreamDetector(
+            config=StreamConfig(min_transactions=1, late_policy="error")
+        )
+        detector.ingest("u", txn(10.0, "www"))
+        with pytest.raises(ValueError, match="behind the stream watermark"):
+            detector.ingest("u", txn(3.0, "edge1"))
+
+    def test_equal_to_watermark_is_not_late(self):
+        detector = StreamDetector(config=StreamConfig(min_transactions=1))
+        detector.ingest("u", txn(10.0, "www"))
+        detector.ingest("u", txn(10.0, "edge1"))
+        assert detector.stats()["late_dropped"] == 0
+        assert detector.stats()["ingested"] == 2
+
+
+class TestFlush:
+    def test_flush_one_stream_leaves_others_open(self):
+        detector = StreamDetector(config=StreamConfig(min_transactions=1))
+        detector.ingest("a", txn(0.0, "www"))
+        detector.ingest("b", txn(0.0, "www"))
+        out = detector.flush("a")
+        assert [v.stream for v in out] == ["a"]
+        assert detector.active_streams == 1
+        assert [v.stream for v in detector.flush()] == ["b"]
+
+    def test_flush_is_idempotent_and_engine_stays_usable(self):
+        detector = StreamDetector(config=StreamConfig(min_transactions=1))
+        detector.ingest("a", txn(0.0, "www"))
+        assert len(detector.flush()) == 1
+        assert detector.flush() == []
+        detector.ingest("a", txn(1.0, "www"))
+        assert [v.session_index for v in detector.flush()] == [0]
