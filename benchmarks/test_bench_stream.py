@@ -4,30 +4,52 @@ Unlike the experiment benchmarks (which regenerate paper tables), these
 enforce *service-level* floors on :class:`repro.stream.StreamDetector`:
 sustained ingest and scoring throughput, and a p99 ceiling on the
 per-micro-batch ingest latency, over a workload of 1000 concurrent user
-streams with deterministic evictions.  The floors sit at roughly a
-quarter of the throughput measured on a development container
-(~35k events/s, ~2.9k sessions/s, p99 micro-batch ~70 ms), so they trip
-on algorithmic regressions — an accidental O(n²) in the pending buffer,
-per-event feature recomputation — not on machine-to-machine noise.
+streams with deterministic evictions.  Every session is scored through
+a paper-sized (60-tree) hist-trained Random Forest, so the scoring
+floor exercises the flattened batched predictor
+(:class:`repro.ml.tree.FlatEnsemble`) end to end — the old per-row
+walk could not hold this floor.  The floors sit at roughly a quarter
+of the throughput measured on a development container (~30k events/s,
+~2.4k sessions/s scored through the model, p99 micro-batch ~80 ms), so
+they trip on algorithmic regressions — an accidental O(n²) in the
+pending buffer, per-row prediction — not on machine-to-machine noise.
 """
 
 import time
 
 import numpy as np
+import pytest
 
+from repro.features.tls_features import feature_names
+from repro.ml.forest import RandomForestClassifier
 from repro.stream.engine import StreamConfig, StreamDetector
 
 # Floors/ceilings (see module docstring for the measured headroom).
 MIN_EVENTS_PER_SEC = 8_000.0
-MIN_SESSIONS_PER_SEC = 600.0
+MIN_SESSIONS_PER_SEC = 800.0
 MAX_P99_BATCH_LATENCY_S = 0.4
 MICRO_BATCH = 256
 
 
-def _run_replay(events):
+@pytest.fixture(scope="module")
+def stream_model():
+    """A paper-sized (60-tree) hist forest over the stream's 38
+    TLS features, trained on synthetic sessions."""
+    width = len(feature_names(StreamConfig().intervals))
+    rng = np.random.default_rng(0)
+    X = rng.gamma(2.0, size=(4000, width)) * rng.gamma(1.0, 10.0, size=width)
+    y = (X[:, 0] > np.median(X[:, 0])).astype(int) + (
+        X[:, 1] > np.median(X[:, 1])
+    ).astype(int)
+    return RandomForestClassifier(
+        n_estimators=60, random_state=0, tree_method="hist"
+    ).fit(X, y)
+
+
+def _run_replay(events, model):
     """Replay the workload, timing each micro-batch ingest."""
     detector = StreamDetector(
-        config=StreamConfig(min_transactions=1, idle_timeout_s=50.0)
+        model, config=StreamConfig(min_transactions=1, idle_timeout_s=50.0)
     )
     latencies = []
     verdicts = []
@@ -39,13 +61,13 @@ def _run_replay(events):
     return detector, verdicts, np.asarray(latencies)
 
 
-def test_bench_stream_throughput(benchmark, stream_workload):
+def test_bench_stream_throughput(benchmark, stream_workload, stream_model):
     events, expected = stream_workload
     assert len({key for key, _ in events}) >= 1000
 
     t0 = time.perf_counter()
     detector, verdicts, latencies = benchmark.pedantic(
-        _run_replay, args=(events,), rounds=1, iterations=1
+        _run_replay, args=(events, stream_model), rounds=1, iterations=1
     )
     wall = time.perf_counter() - t0
 
@@ -64,8 +86,9 @@ def test_bench_stream_throughput(benchmark, stream_workload):
     assert stats["evicted"] == expected["short_streams"]
     assert stats["late_dropped"] == 0
     assert stats["active"] == stats["pending"] == stats["queued"] == 0
-    # Every verdict carries a full feature vector.
+    # Every verdict carries a full feature vector and a model category.
     assert all(v.features.shape == verdicts[0].features.shape for v in verdicts)
+    assert all(v.category is not None for v in verdicts)
 
     # The service-level floors.
     assert events_per_sec >= MIN_EVENTS_PER_SEC, (

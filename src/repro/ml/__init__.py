@@ -16,6 +16,7 @@ folds via :func:`repro.ml.model_selection.clone`.
 """
 
 from repro._deprecation import deprecated_reexports
+from repro.ml.binning import Binner
 from repro.ml.boosting import GradientBoostingClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.importance import permutation_importance
@@ -46,6 +47,7 @@ __getattr__ = deprecated_reexports(
 )
 
 __all__ = [
+    "Binner",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "RandomForestClassifier",

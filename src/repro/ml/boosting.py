@@ -6,27 +6,39 @@ one shallow regression tree per class to the negative gradient
 probability), with shrinkage and optional row subsampling — the core of
 what XGBoost does, minus the second-order weights and regularized leaf
 solver.
+
+``tree_method="hist"`` bins the corpus once up front; every round's
+trees then fit on (row-subsampled slices of) the shared uint8 codes
+with histogram split finding.  Prediction stacks all fitted trees into
+one :class:`~repro.ml.tree.FlatEnsemble` and routes every row through
+every tree in a single vectorized traversal, accumulating scores in
+(round, class) order — bit-identical to the sequential reference loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.binning import Binner
+from repro.ml.tree import DecisionTreeRegressor, FlatEnsemble
+from repro.ml.validation import as_2d_float, check_n_features
 from repro.parallel import parallel_map, resolve_jobs
 
 __all__ = ["GradientBoostingClassifier"]
 
 
 def _fit_round_tree(
-    task: tuple[np.ndarray, np.ndarray, int, int, int],
+    task: tuple[np.ndarray, np.ndarray, int, int, int, Binner | None],
 ) -> DecisionTreeRegressor:
     """Fit one round's per-class tree (runs inside a pool worker)."""
-    X_rows, residual_c, max_depth, min_samples_leaf, seed = task
+    X_rows, residual_c, max_depth, min_samples_leaf, seed, binner = task
     tree = DecisionTreeRegressor(
         max_depth=max_depth, min_samples_leaf=min_samples_leaf, random_state=seed
     )
-    tree.fit(X_rows, residual_c)
+    if binner is not None:
+        tree.fit_binned(X_rows, residual_c, binner)
+    else:
+        tree.fit(X_rows, residual_c)
     return tree
 
 
@@ -58,6 +70,9 @@ class GradientBoostingClassifier:
         corpora, overhead-bound for small ones, hence the default of
         1 rather than the ``REPRO_JOBS`` environment default used by
         the forest.  Results are identical for every value.
+    tree_method:
+        ``"exact"`` (default, the golden reference) or ``"hist"``
+        (histogram split finding over corpus-level bin codes).
     """
 
     def __init__(
@@ -69,6 +84,7 @@ class GradientBoostingClassifier:
         min_samples_leaf: int = 1,
         random_state: int | None = None,
         n_jobs: int = 1,
+        tree_method: str = "exact",
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -76,6 +92,10 @@ class GradientBoostingClassifier:
             raise ValueError("learning_rate must be in (0, 1]")
         if not 0 < subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1]")
+        if tree_method not in ("exact", "hist"):
+            raise ValueError(
+                f"tree_method must be 'exact' or 'hist', got {tree_method!r}"
+            )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
@@ -83,9 +103,13 @@ class GradientBoostingClassifier:
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
         self.n_jobs = n_jobs
+        self.tree_method = tree_method
         self.trees_: list[list[DecisionTreeRegressor]] = []
         self.classes_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self.binner_: Binner | None = None
         self._base_scores: np.ndarray | None = None
+        self._flat: FlatEnsemble | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
         """Fit ``n_estimators`` rounds of per-class trees."""
@@ -96,6 +120,8 @@ class GradientBoostingClassifier:
         if y.shape[0] != X.shape[0]:
             raise ValueError("X and y length mismatch")
         self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._flat = None
         n, k = X.shape[0], self.classes_.shape[0]
         onehot = np.zeros((n, k))
         onehot[np.arange(n), y_enc] = 1.0
@@ -105,6 +131,14 @@ class GradientBoostingClassifier:
         scores = np.tile(self._base_scores, (n, 1))
         rng = np.random.default_rng(self.random_state)
         self.trees_ = []
+
+        if self.tree_method == "hist":
+            # Bin once per corpus; every round reuses the codes.
+            self.binner_ = Binner()
+            codes = self.binner_.fit_transform(X)
+        else:
+            self.binner_ = None
+            codes = None
 
         for _ in range(self.n_estimators):
             proba = _softmax(scores)
@@ -118,12 +152,12 @@ class GradientBoostingClassifier:
             # same stream the sequential loop consumed — then the k
             # independent class trees can fit concurrently.
             seeds = [int(rng.integers(2**31 - 1)) for _ in range(k)]
+            X_rows = codes[rows] if codes is not None else X[rows]
             jobs = resolve_jobs(self.n_jobs)
             if jobs > 1 and k > 1:
-                X_rows = X[rows]
                 tasks = [
                     (X_rows, residual[rows, c], self.max_depth,
-                     self.min_samples_leaf, seeds[c])
+                     self.min_samples_leaf, seeds[c], self.binner_)
                     for c in range(k)
                 ]
                 round_trees = parallel_map(
@@ -134,12 +168,10 @@ class GradientBoostingClassifier:
             else:
                 round_trees = []
                 for c in range(k):
-                    tree = DecisionTreeRegressor(
-                        max_depth=self.max_depth,
-                        min_samples_leaf=self.min_samples_leaf,
-                        random_state=seeds[c],
+                    tree = _fit_round_tree(
+                        (X_rows, residual[rows, c], self.max_depth,
+                         self.min_samples_leaf, seeds[c], self.binner_)
                     )
-                    tree.fit(X[rows], residual[rows, c])
                     scores[:, c] += self.learning_rate * tree.predict(X)
                     round_trees.append(tree)
             self.trees_.append(round_trees)
@@ -148,11 +180,23 @@ class GradientBoostingClassifier:
     def _raw_scores(self, X: np.ndarray) -> np.ndarray:
         if not self.trees_:
             raise RuntimeError("model is not fitted")
-        X = np.asarray(X, dtype=np.float64)
+        X = as_2d_float(X)
+        check_n_features(self, X)
+        if self._flat is None:
+            self._flat = FlatEnsemble(
+                [tree for round_trees in self.trees_ for tree in round_trees]
+            )
+        # One stacked traversal for all rounds and classes; scores
+        # accumulate in (round, class) order, matching the sequential
+        # per-tree loop bit for bit.
+        leaf = self._flat.leaf_values(X)[:, :, 0]
         scores = np.tile(self._base_scores, (X.shape[0], 1))
-        for round_trees in self.trees_:
-            for c, tree in enumerate(round_trees):
-                scores[:, c] += self.learning_rate * tree.predict(X)
+        k = self.classes_.shape[0]
+        i = 0
+        for _ in self.trees_:
+            for c in range(k):
+                scores[:, c] += self.learning_rate * leaf[i]
+                i += 1
         return scores
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -1,0 +1,31 @@
+"""Shared estimator input validation.
+
+Every model that remembers its training width exposes ``n_features_``;
+:func:`check_n_features` gives them one consistent ``ValueError`` that
+names both widths, instead of the per-model drift (silent broadcasting
+here, a vague message there) the estimators used to have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_2d_float", "check_n_features"]
+
+
+def as_2d_float(X: np.ndarray) -> np.ndarray:
+    """``X`` as a 2-D float64 array, or :class:`ValueError`."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    return X
+
+
+def check_n_features(model, X: np.ndarray) -> None:
+    """Raise if ``X``'s width disagrees with the fitted width."""
+    expected = getattr(model, "n_features_", None)
+    if expected is not None and X.shape[1] != expected:
+        raise ValueError(
+            f"X has {X.shape[1]} features, but {type(model).__name__} "
+            f"was fitted with n_features_={expected}"
+        )

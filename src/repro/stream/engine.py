@@ -37,9 +37,11 @@ Evicted sessions still emit a final verdict (reason ``"eviction"``),
 and re-ingesting an evicted stream key starts a fresh stream.
 
 Scoring is a batched predict loop: closed sessions queue up and are
-scored ``score_batch`` at a time through the model (per-row forest
-prediction is batch-size invariant, so this changes throughput, not
-verdicts).  Telemetry: ``stream.ingested`` / ``stream.scored`` /
+scored ``score_batch`` at a time through the model — for the tree
+ensembles that is the flattened node-table traversal
+(:class:`repro.ml.tree.FlatEnsemble`), whose leaf gathers are
+bit-identical to walking each tree per row, so batching changes
+throughput, not verdicts.  Telemetry: ``stream.ingested`` / ``stream.scored`` /
 ``stream.evicted`` / ``stream.late_dropped`` counters, a
 ``stream.active`` gauge, a ``stream.decision_lag_s`` histogram
 (event-time lag between a session's last activity and its verdict),

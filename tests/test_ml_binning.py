@@ -1,0 +1,91 @@
+"""Unit tests for repro.ml.binning.Binner (hist-mode quantization)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.binning import Binner
+
+
+class TestBinnerFit:
+    def test_max_bins_validation(self):
+        with pytest.raises(ValueError):
+            Binner(max_bins=1)
+        with pytest.raises(ValueError):
+            Binner(max_bins=257)
+
+    def test_rejects_empty_and_non_2d(self):
+        with pytest.raises(ValueError):
+            Binner().fit(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            Binner().fit(np.ones(5))
+
+    def test_lossless_when_few_distinct_values(self):
+        # One bin per distinct value: the code sequence recovers the
+        # rank of each value exactly (the basis of the golden tests).
+        col = np.array([3.0, -1.0, 3.0, 7.0, -1.0, 7.0, 7.0])
+        b = Binner().fit(col[:, None])
+        assert b.n_bins_[0] == 3
+        codes = b.transform(col[:, None])[:, 0]
+        expected = np.searchsorted(np.array([-1.0, 3.0, 7.0]), col)
+        assert np.array_equal(codes, expected)
+
+    def test_cuts_are_observed_values(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(4000, 2))
+        b = Binner(max_bins=64).fit(X)
+        for f in range(2):
+            assert b.n_bins_[f] <= 64
+            assert np.isin(b.upper_bounds_[f], X[:, f]).all()
+            assert np.all(np.diff(b.upper_bounds_[f]) > 0)
+
+    def test_constant_column_single_bin(self):
+        b = Binner().fit(np.full((10, 1), 2.5))
+        assert b.n_bins_[0] == 1
+        assert b.upper_bounds_[0].shape == (0,)
+        assert (b.transform(np.full((4, 1), 2.5)) == 0).all()
+
+
+class TestBinnerTransform:
+    def test_codes_are_uint8_and_monotone(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(1000, 3))
+        b = Binner(max_bins=32)
+        codes = b.fit_transform(X)
+        assert codes.dtype == np.uint8
+        for f in range(3):
+            order = np.argsort(X[:, f], kind="stable")
+            assert np.all(np.diff(codes[order, f].astype(int)) >= 0)
+
+    def test_nan_and_overflow_share_top_bin(self):
+        X = np.linspace(0.0, 1.0, 300)[:, None]
+        b = Binner(max_bins=16).fit(X)
+        top = b.n_bins_[0] - 1
+        out = b.transform(np.array([[np.nan], [np.inf], [99.0], [0.5]]))
+        assert out[0, 0] == top  # NaN
+        assert out[1, 0] == top  # +inf
+        assert out[2, 0] == top  # above the last cut
+        assert out[3, 0] < top
+
+    def test_split_semantics_match_raw_scale(self):
+        # "code <= b" must be exactly "x <= upper_bounds_[f][b]".
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(500, 1))
+        b = Binner(max_bins=8).fit(X)
+        codes = b.fit_transform(X)[:, 0]
+        for bin_id, cut in enumerate(b.upper_bounds_[0]):
+            assert np.array_equal(codes <= bin_id, X[:, 0] <= cut)
+
+    def test_validation(self):
+        b = Binner()
+        with pytest.raises(RuntimeError):
+            b.transform(np.ones((2, 2)))
+        b.fit(np.ones((5, 2)))
+        with pytest.raises(ValueError):
+            b.transform(np.ones((2, 3)))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(2000, 4))
+        a = Binner(max_bins=64).fit_transform(X)
+        c = Binner(max_bins=64).fit_transform(X)
+        assert np.array_equal(a, c)

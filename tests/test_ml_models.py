@@ -85,6 +85,33 @@ class TestKNN:
         knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
         assert (knn.predict(X) == y).mean() == 1.0
 
+    def test_matches_per_row_reference(self):
+        """The blocked expanded-form distance computation must vote
+        exactly like a naive per-row euclidean k-NN."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(200, 6))
+        y = rng.integers(0, 3, size=200)
+        Xq = rng.normal(size=(40, 6))
+        k = 7
+        knn = KNeighborsClassifier(n_neighbors=k, scale=False).fit(X, y)
+        proba = knn.predict_proba(Xq)
+        for i in range(Xq.shape[0]):
+            d = np.array([np.sum((Xq[i] - X[j]) ** 2) for j in range(X.shape[0])])
+            votes = y[np.argsort(d, kind="stable")[:k]]
+            expected = np.bincount(votes, minlength=3) / k
+            np.testing.assert_allclose(proba[i], expected, atol=1e-12)
+
+    def test_blocked_queries_match_single_block(self):
+        """Query blocking is a memory bound, not a semantics knob."""
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(150, 4))
+        y = rng.integers(0, 2, size=150)
+        Xq = rng.normal(size=(64, 4))
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        whole = knn.predict_proba(Xq)
+        rows = np.vstack([knn.predict_proba(Xq[i : i + 7]) for i in range(0, 64, 7)])
+        assert np.array_equal(whole, rows)
+
     def test_scaling_matters_for_mixed_units(self):
         """Without internal scaling a huge-unit feature drowns the rest."""
         rng = np.random.default_rng(0)
