@@ -35,6 +35,7 @@ __all__ = [
     "detect_sessions",
     "extract_features",
     "get_config",
+    "load_corpus",
     "run_experiment",
     "train_model",
 ]
@@ -51,6 +52,7 @@ _API_NAMES = frozenset(
         "cross_validate",
         "detect_sessions",
         "extract_features",
+        "load_corpus",
         "run_experiment",
         "train_model",
     }

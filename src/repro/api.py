@@ -56,6 +56,7 @@ __all__ = [
     "cross_validate",
     "detect_sessions",
     "extract_features",
+    "load_corpus",
     "run_experiment",
     "train_model",
 ]
@@ -71,6 +72,8 @@ def collect_corpus(
     seed: int = 0,
     config: CollectionConfig | None = None,
     jobs: int | None = None,
+    out: "str | None" = None,
+    shard_size: int | None = None,
 ) -> Dataset:
     """Simulate and collect a corpus of streaming sessions.
 
@@ -82,19 +85,51 @@ def collect_corpus(
         Sessions to collect (the paper's corpora are 2111/2216/1440).
     seed:
         Corpus seed; each session derives its own independent RNG
-        stream, so results are bit-identical for any worker count.
+        stream, so results are bit-identical for any worker count —
+        and for any shard size.
     config:
         Optional :class:`~repro.collection.harness.CollectionConfig`
         overriding watch durations / the bandwidth-trace mixture.
     jobs:
         Worker processes (default: the resolved config's ``jobs``).
+    out:
+        Target *directory* for out-of-core collection: sessions stream
+        to format-4 shards instead of accumulating in memory, and the
+        returned corpus is a lazy
+        :class:`~repro.collection.shards.ShardedDataset`.  Required
+        when ``shard_size`` is given.
+    shard_size:
+        Sessions per shard for out-of-core collection (default:
+        ``REPRO_SHARD_SIZE``, then 512).
 
     Returns
     -------
     Dataset
-        The collected corpus, ready for :func:`extract_features`.
+        The collected corpus, ready for :func:`extract_features`
+        (a lazy ``ShardedDataset`` when ``out`` is given).
     """
+    if out is not None:
+        from repro.collection.fleet import collect_corpus_sharded
+
+        return collect_corpus_sharded(
+            service, n_sessions, out,
+            shard_size=shard_size, seed=seed, config=config, n_jobs=jobs,
+        )
+    if shard_size is not None:
+        raise ValueError("shard_size needs out= (a target shard directory)")
     return _collect_corpus(service, n_sessions, seed=seed, config=config, n_jobs=jobs)
+
+
+def load_corpus(path: "str") -> Dataset:
+    """Load a stored corpus of any format (1-4).
+
+    Files (formats 1-3) return a :class:`Dataset`; format-4 shard
+    directories (or their ``manifest.json``) return a lazy
+    :class:`~repro.collection.shards.ShardedDataset` that reads only
+    the manifest up front.  Malformed corpora raise
+    :class:`~repro.collection.dataset.DatasetFormatError`.
+    """
+    return Dataset.load(path)
 
 
 def extract_features(

@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 import zipfile
 from collections import OrderedDict
@@ -338,6 +339,39 @@ class ArtifactStore:
             self._memory_put(key, value)
             return value, key
 
+    def lookup(
+        self,
+        stage: str,
+        config: dict,
+        deps: tuple[str, ...] = (),
+        codec=ARRAYS,
+    ) -> tuple[Any, str]:
+        """Probe for an artifact without computing it.
+
+        Returns ``(value, digest)`` on a hit and ``(None, digest)``
+        otherwise.  Hits count exactly like :meth:`get_or_compute`
+        hits, but a probe miss is *not* counted: the coordinator/worker
+        fleet probes every shard first, farms the absent ones out to
+        workers, and commits the results through
+        :meth:`get_or_compute` — which is where the miss is recorded,
+        once, so the counters reconcile (hits + misses == shards).
+        """
+        fp = fingerprint(stage, config, deps)
+        key = digest(fp)
+        counters = self._stage_counters(stage)
+        value = self._memory_get(key)
+        if value is not None:
+            counters.memory_hits += 1
+            telemetry.count(f"cache.{stage}.memory_hit")
+            return value, key
+        value = self._disk_get(stage, key, fp, codec)
+        if value is not None:
+            counters.hits += 1
+            telemetry.count(f"cache.{stage}.hit")
+            self._memory_put(key, value)
+            return value, key
+        return None, key
+
     # -- maintenance ---------------------------------------------------
     def iter_entries(self) -> Iterator[tuple[str, Path]]:
         """Yield ``(stage, payload_path)`` for every committed entry."""
@@ -362,7 +396,12 @@ class ArtifactStore:
         for stage, payload in self.iter_entries():
             entry = stages.setdefault(stage, {"entries": 0, "bytes": 0})
             entry["entries"] += 1
-            entry["bytes"] += payload.stat().st_size
+            if payload.is_dir():
+                entry["bytes"] += sum(
+                    p.stat().st_size for p in payload.rglob("*") if p.is_file()
+                )
+            else:
+                entry["bytes"] += payload.stat().st_size
         return {
             "root": str(self.root),
             "entries": sum(s["entries"] for s in stages.values()),
@@ -382,7 +421,11 @@ class ArtifactStore:
                 continue
             for path in stage_dir.iterdir():
                 try:
-                    path.unlink()
+                    if path.is_dir():
+                        # Directory payloads (sharded corpora).
+                        shutil.rmtree(path)
+                    else:
+                        path.unlink()
                     removed += 1
                 except OSError:
                     pass

@@ -4,6 +4,8 @@ Nine subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
+    python -m repro collect  --service svc1 -n 5000 --shard-size 512 -o corpus.shards
+    python -m repro corpus   info|verify|shard PATH [-o DIR --shard-size N]
     python -m repro train    --corpus corpus.json.gz -o model.pkl
     python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
     python -m repro split    --transactions stream.json [--demo svc1]
@@ -38,7 +40,7 @@ from pathlib import Path
 from repro import config as config_mod
 from repro import telemetry
 from repro._version import __version__
-from repro.collection.dataset import Dataset
+from repro.collection.dataset import FORMAT_VERSION, Dataset
 from repro.collection.harness import collect_corpus
 from repro.features.tls_features import extract_tls_matrix
 from repro.tlsproxy.table import TransactionTable
@@ -98,14 +100,101 @@ def _unit_float(text: str) -> float:
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
-    dataset = collect_corpus(
-        args.service, args.sessions, seed=args.seed, n_jobs=args.jobs
-    )
-    dataset.save(args.output)
+    shard_size = args.shard_size
+    if shard_size is None:
+        shard_size = config_mod.get_config().shard_size
+    if shard_size is not None:
+        from repro.collection.fleet import collect_corpus_sharded
+
+        dataset = collect_corpus_sharded(
+            args.service, args.sessions, args.output,
+            shard_size=shard_size, seed=args.seed, n_jobs=args.jobs,
+        )
+        suffix = f" ({dataset.n_shards} shards of <= {shard_size})"
+    else:
+        dataset = collect_corpus(
+            args.service, args.sessions, seed=args.seed, n_jobs=args.jobs
+        )
+        dataset.save(args.output)
+        suffix = ""
     dist = dataset.label_distribution("combined")
     print(
-        f"collected {len(dataset)} {args.service} sessions -> {args.output} "
+        f"collected {len(dataset)} {args.service} sessions -> {args.output}"
+        f"{suffix} "
         f"(combined QoE: {dist[0]:.0%}/{dist[1]:.0%}/{dist[2]:.0%} low/med/high)"
+    )
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.collection.dataset import DatasetFormatError
+    from repro.collection.shards import ShardedDataset, save_sharded
+
+    try:
+        dataset = Dataset.load(args.path)
+    except DatasetFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    sharded = isinstance(dataset, ShardedDataset)
+    if args.action == "info":
+        if sharded:
+            print(f"{args.path}: format 4 (sharded directory)")
+            print(f"  service: {dataset.service}")
+            print(
+                f"  sessions: {len(dataset)} in {dataset.n_shards} shards "
+                f"(shard_size={dataset.shard_size})"
+            )
+            print(f"  manifest digest: {dataset.manifest_digest}")
+        else:
+            version = getattr(dataset, "_format_version", FORMAT_VERSION)
+            print(f"{args.path}: format {version} (monolithic file)")
+            print(f"  service: {dataset.service}")
+            print(f"  sessions: {len(dataset)}")
+        for target in TARGETS:
+            dist = dataset.label_distribution(target)
+            print(
+                f"  {target}: {dist[0]:.0%}/{dist[1]:.0%}/{dist[2]:.0%} "
+                "low/med/high"
+            )
+        return 0
+
+    if args.action == "verify":
+        if not sharded:
+            # Loading a monolithic corpus already decodes every array
+            # and validates the offset index — parsing is the check.
+            print(f"{args.path}: OK ({len(dataset)} sessions parsed)")
+            return 0
+        try:
+            result = dataset.verify()
+        except DatasetFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.path}: OK ({result['shards']} shards, "
+            f"{result['bytes'] / 1e6:.1f} MB, all digests match)"
+        )
+        return 0
+
+    # action == "shard": write/rewrite PATH as a format-4 directory.
+    if not args.output:
+        print("error: 'corpus shard' needs -o/--output DIR", file=sys.stderr)
+        return 2
+    shard_size = args.shard_size
+    if shard_size is None:
+        shard_size = config_mod.get_config().shard_size
+    if shard_size is None:
+        from repro.collection.fleet import DEFAULT_SHARD_SIZE
+
+        shard_size = DEFAULT_SHARD_SIZE
+    out = save_sharded(dataset, args.output, shard_size)
+    print(
+        f"sharded {len(out)} sessions -> {args.output} "
+        f"({out.n_shards} shards of <= {shard_size}, "
+        f"manifest digest {out.manifest_digest})"
     )
     return 0
 
@@ -423,7 +512,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--sessions", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument(
+        "--shard-size", type=_positive_int, default=None, metavar="N",
+        help="collect out-of-core: write OUTPUT as a format-4 shard "
+             "directory with N sessions per shard (also: REPRO_SHARD_SIZE; "
+             "sessions are bit-identical either way)",
+    )
     p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser(
+        "corpus",
+        help="inspect, verify, or re-shard a stored corpus",
+        description="info: format/session/label stats for any corpus "
+                    "(formats 1-4). verify: re-hash every shard against "
+                    "the manifest digests. shard: rewrite a corpus as a "
+                    "format-4 shard directory.",
+    )
+    p.add_argument("action", choices=("info", "verify", "shard"))
+    p.add_argument("path", help="corpus file or shard directory")
+    p.add_argument("-o", "--output", help="target shard directory (action=shard)")
+    p.add_argument(
+        "--shard-size", type=_positive_int, default=None, metavar="N",
+        help="sessions per shard for 'corpus shard' "
+             "(default: REPRO_SHARD_SIZE, then 512)",
+    )
+    p.set_defaults(func=_cmd_corpus)
 
     p = sub.add_parser("train", help="train a QoE model on a corpus")
     p.add_argument("--corpus", required=True)

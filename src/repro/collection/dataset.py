@@ -20,6 +20,14 @@ SNI hostnames dictionary-encoded), so loading reconstitutes the
 transaction table directly instead of re-parsing per-session lists.
 Format-1 (nested lists) and format-2 corpora still load; malformed
 files raise :class:`DatasetFormatError`.
+
+Format 4 is not a file at all but a *sharded directory* —
+``manifest.json`` plus npz-backed columnar shard blocks — for corpora
+that must not be materialized whole (see
+:mod:`repro.collection.shards`).  :meth:`Dataset.load` dispatches on
+the path: a directory (or its ``manifest.json``) returns a lazy
+:class:`~repro.collection.shards.ShardedDataset`; and
+:meth:`Dataset.save` with ``shard_size`` writes one.
 """
 
 from __future__ import annotations
@@ -51,10 +59,11 @@ __all__ = ["SessionRecord", "Dataset", "DatasetFormatError"]
 _RESOURCE_CODES = {rt: i for i, rt in enumerate(ResourceType)}
 _RESOURCE_FROM_CODE = {i: rt for rt, i in _RESOURCE_CODES.items()}
 
-#: On-disk format version written by :meth:`Dataset.save`.
+#: On-disk format version written by :meth:`Dataset.save` (files).
 FORMAT_VERSION = 3
 
-#: Format versions :meth:`Dataset.load` understands.
+#: *File* format versions :meth:`Dataset.load` understands; format 4
+#: is the sharded directory layout (:mod:`repro.collection.shards`).
 SUPPORTED_FORMATS = (1, 2, 3)
 
 
@@ -408,8 +417,14 @@ class Dataset:
         self._tls_table = None
 
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, shard_size: int | None = None):
         """Write the corpus as (gzipped, if ``.gz``) format-3 JSON.
+
+        With ``shard_size`` set, ``path`` becomes a format-4 *shard
+        directory* instead (:func:`repro.collection.shards.save_sharded`
+        — ``shard_size`` sessions per npz shard, manifest written
+        last); the lazy :class:`~repro.collection.shards.ShardedDataset`
+        view of what was written is returned.
 
         The TLS transactions of every session go into one corpus-level
         columnar block (``tls``): the four float64 columns and the
@@ -421,6 +436,10 @@ class Dataset:
         share the ``.cache/`` directory) never sees a truncated corpus.
         """
         path = Path(path)
+        if shard_size is not None:
+            from repro.collection.shards import save_sharded
+
+            return save_sharded(self, path, shard_size)
         with telemetry.span("dataset.save", sessions=len(self.sessions)) as sp:
             table = self.tls_table()
             hosts = sorted(set(table.sni))
@@ -462,15 +481,26 @@ class Dataset:
                 raise
 
     @classmethod
-    def load(cls, path: str | Path) -> "Dataset":
-        """Read a corpus written by :meth:`save` (formats 1, 2 and 3).
+    def load(cls, path: str | Path):
+        """Read a corpus written by :meth:`save` (formats 1 through 4).
 
-        Any malformed, truncated, or unknown-format file raises a
+        ``path`` may be a corpus *file* (formats 1-3, returning a
+        :class:`Dataset`) or a format-4 shard *directory* — or its
+        ``manifest.json`` — returning a lazy
+        :class:`~repro.collection.shards.ShardedDataset` that reads
+        only the manifest up front.
+
+        Any malformed, truncated, or unknown-format corpus raises a
         single :class:`DatasetFormatError` naming the offending path —
         parsing internals (``KeyError``, ``binascii.Error``, torn gzip
-        streams, ...) never leak.
+        streams, ...) never leak.  A missing path keeps raising plain
+        ``OSError``.
         """
         path = Path(path)
+        if path.is_dir() or path.name == "manifest.json":
+            from repro.collection.shards import ShardedDataset
+
+            return ShardedDataset.load(path)
         raw = path.read_bytes()
         try:
             with telemetry.span("dataset.load", bytes=len(raw)) as sp:
@@ -480,6 +510,12 @@ class Dataset:
                 if not isinstance(payload, dict):
                     raise ValueError("corpus payload is not a JSON object")
                 version = payload.get("format", 1)
+                if version == 4:
+                    raise ValueError(
+                        "format 4 is a sharded directory layout, not a "
+                        "file — pass the corpus directory (or its "
+                        "manifest.json) instead"
+                    )
                 if version not in SUPPORTED_FORMATS:
                     raise ValueError(
                         f"unknown corpus format {version!r} "
@@ -496,6 +532,7 @@ class Dataset:
                         ],
                     )
                 sp.set(sessions=len(dataset.sessions))
+                dataset._format_version = version
                 return dataset
         except (
             KeyError,

@@ -28,6 +28,7 @@ __all__ = [
     "CollectionConfig",
     "default_tcp_params",
     "collect_session",
+    "collect_records",
     "collect_corpus",
 ]
 
@@ -119,16 +120,20 @@ def collect_session(
     return player.run()
 
 
-def _collect_chunk(
-    task: tuple[ServiceProfile, CollectionConfig, list[np.random.SeedSequence]],
+def collect_records(
+    profile: ServiceProfile,
+    config: CollectionConfig,
+    seeds: list[np.random.SeedSequence],
 ) -> list[SessionRecord]:
-    """Collect one chunk of sessions (runs inside a pool worker).
+    """Collect one run of sessions, one spawned seed per session.
 
     Each session gets its own generator seeded from a spawned
     :class:`~numpy.random.SeedSequence`, so the records depend only on
-    the session's index — never on chunking or worker count.
+    the session's index — never on chunking, sharding, or worker
+    count.  This is the unit of work both the in-process pool
+    (:func:`collect_corpus`) and the shard fleet
+    (:mod:`repro.collection.fleet`) execute.
     """
-    profile, config, seeds = task
     with telemetry.span("collect_chunk", sessions=len(seeds)):
         catalog = profile.make_catalog(seed=config.catalog_seed)
         records = []
@@ -139,6 +144,14 @@ def _collect_chunk(
             records.append(SessionRecord.from_trace(trace, profile))
         telemetry.count("collection.sessions", len(seeds))
     return records
+
+
+def _collect_chunk(
+    task: tuple[ServiceProfile, CollectionConfig, list[np.random.SeedSequence]],
+) -> list[SessionRecord]:
+    """Pool-worker entry point: unpack one chunk task."""
+    profile, config, seeds = task
+    return collect_records(profile, config, seeds)
 
 
 def collect_corpus(

@@ -1,0 +1,635 @@
+"""Sharded (format-4) corpora: out-of-core storage for corpus scale.
+
+A format-4 corpus is a *directory* instead of one JSON blob::
+
+    corpus.shards/
+        manifest.json        # format, service, per-shard counts/digests
+        shard-00000.npz      # chunked columnar block, npz-backed
+        shard-00001.npz
+        ...
+
+Each shard packs a fixed run of sessions as plain numpy arrays — one
+:class:`~repro.tlsproxy.table.TransactionTable` slab for the TLS
+columns (the struct-of-arrays layout, SNI dictionary-encoded) plus
+flat+offset encodings of the per-session HTTP/transfer/connection
+arrays and scalar columns.  No base64-in-JSON: ``np.savez`` stores the
+raw bytes, and ``np.load`` decompresses only the members a reader
+touches, so reading a shard's label column never materializes its
+transactions.
+
+The manifest carries per-shard session counts, per-target label
+distributions, and the SHA-256 digest of every shard file.  Its
+canonical-JSON digest (:attr:`ShardedDataset.manifest_digest`) is the
+corpus's content address and is what downstream
+:mod:`repro.artifacts` fingerprints hang off — a warm pipeline run
+reads nothing but the manifest.
+
+Write protocol (crash safety): shard files land first, each atomically
+(temp + ``os.replace``); the manifest is written **last**.  A crash
+mid-write therefore leaves a directory without a (current) manifest,
+which :meth:`ShardedDataset.load` reports as an incomplete corpus —
+never a silently short one.  :meth:`ShardedDataset.verify` re-hashes
+every shard against the manifest.
+
+Loading a shard directory gives a lazy :class:`ShardedDataset`: shards
+materialize on demand through a small LRU (``shards.cache_hit`` /
+``shards.materialized`` telemetry counters prove cache behaviour), so
+peak memory is bounded by the shard size, not the corpus size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+import zipfile
+
+import numpy as np
+
+from repro import telemetry
+from repro.artifacts import atomic_write_bytes, canonical_json
+from repro.qoe.labels import TARGETS, SessionLabels
+from repro.tlsproxy.table import TransactionTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.collection.dataset import Dataset, SessionRecord
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ShardEntry",
+    "ShardedDataset",
+    "save_sharded",
+    "shard_name",
+    "write_shard",
+]
+
+#: The manifest file every format-4 corpus directory must contain.
+MANIFEST_NAME = "manifest.json"
+
+#: Shard file naming (index -> file name).
+_SHARD_NAME_FMT = "shard-{:05d}.npz"
+
+#: Shards kept materialized per dataset (coordinator needs at most the
+#: one it reads plus one of lookahead).
+_DEFAULT_CACHED_SHARDS = 2
+
+
+def shard_name(index: int) -> str:
+    """Canonical shard file name for a shard index."""
+    return _SHARD_NAME_FMT.format(index)
+
+
+def _format_error(root: Path, message: str) -> Exception:
+    from repro.collection.dataset import DatasetFormatError
+
+    return DatasetFormatError(f"corrupt sharded corpus {root}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Shard block codec: list[SessionRecord] <-> dict of arrays
+
+
+def _str_array(values: Sequence[str]) -> np.ndarray:
+    if not values:
+        return np.empty(0, dtype="<U1")
+    return np.asarray(list(values), dtype=np.str_)
+
+
+def _offsets_of(counts: Iterable[int], n: int) -> np.ndarray:
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.fromiter(counts, dtype=np.int64, count=n), out=offsets[1:])
+    return offsets
+
+
+_HTTP_DTYPES = {
+    "start": np.float64,
+    "end": np.float64,
+    "request_bytes": np.int64,
+    "response_bytes": np.int64,
+    "resource_code": np.int8,
+    "quality": np.int8,
+}
+
+_SCALAR_COLUMNS = (
+    "watch_duration_s",
+    "session_end",
+    "play_time",
+    "stall_time",
+    "startup_delay",
+    "link_mean_bps",
+)
+
+
+def encode_shard(service: str, records: "Sequence[SessionRecord]") -> dict:
+    """One shard's sessions as a flat dict of numpy arrays.
+
+    Everything numeric keeps its exact dtype (float64 raw bytes, so the
+    round-trip is bit-identical); strings become unicode arrays;
+    variable-length per-session data is stored flat with an offset
+    index, the same layout the transaction table uses.
+    """
+    n = len(records)
+    table = TransactionTable.from_sessions([r.tls_transactions for r in records])
+    arrays = {f"tls_{k}": v for k, v in table.to_arrays().items()}
+    arrays["service"] = _str_array([service])
+    arrays["video_id"] = _str_array([r.video_id for r in records])
+    for column in _SCALAR_COLUMNS:
+        arrays[column] = np.array(
+            [getattr(r, column) for r in records], dtype=np.float64
+        )
+    arrays["label_rebuffering_ratio"] = np.array(
+        [r.labels.rebuffering_ratio for r in records], dtype=np.float64
+    )
+    for target in TARGETS:
+        arrays[f"label_{target}"] = np.array(
+            [r.labels.get(target) for r in records], dtype=np.int64
+        )
+    hosts = [h for r in records for h in r.session_hosts]
+    arrays["session_hosts"] = _str_array(hosts)
+    arrays["session_hosts_offsets"] = _offsets_of(
+        (len(r.session_hosts) for r in records), n
+    )
+    arrays["http_offsets"] = _offsets_of(
+        (r.http["start"].shape[0] for r in records), n
+    )
+    for column, dtype in _HTTP_DTYPES.items():
+        parts = [np.asarray(r.http[column], dtype=dtype) for r in records]
+        arrays[f"http_{column}"] = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+        )
+    arrays["transfer_offsets"] = _offsets_of(
+        (r.transfers.shape[0] for r in records), n
+    )
+    arrays["transfers"] = (
+        np.concatenate([r.transfers for r in records], axis=0)
+        if records
+        else np.empty((0, 10))
+    )
+    arrays["connection_offsets"] = _offsets_of(
+        (r.connections.shape[0] for r in records), n
+    )
+    arrays["connections"] = (
+        np.concatenate([r.connections for r in records], axis=0)
+        if records
+        else np.empty((0, 3))
+    )
+    return arrays
+
+
+def decode_shard(arrays: dict) -> "Dataset":
+    """Inverse of :func:`encode_shard`: a one-shard :class:`Dataset`."""
+    from repro.collection.dataset import Dataset, SessionRecord
+
+    service = str(arrays["service"][0])
+    table = TransactionTable.from_arrays(
+        {k[len("tls_"):]: arrays[k] for k in arrays if k.startswith("tls_")}
+    )
+    n = table.n_sessions
+    host_offsets = np.asarray(arrays["session_hosts_offsets"], dtype=np.int64)
+    http_offsets = np.asarray(arrays["http_offsets"], dtype=np.int64)
+    transfer_offsets = np.asarray(arrays["transfer_offsets"], dtype=np.int64)
+    connection_offsets = np.asarray(arrays["connection_offsets"], dtype=np.int64)
+    for name, offsets in (
+        ("session_hosts_offsets", host_offsets),
+        ("http_offsets", http_offsets),
+        ("transfer_offsets", transfer_offsets),
+        ("connection_offsets", connection_offsets),
+    ):
+        if offsets.shape[0] != n + 1:
+            raise ValueError(f"{name} does not cover every session")
+    hosts = [str(h) for h in arrays["session_hosts"]]
+    sessions = []
+    for i in range(n):
+        lo, hi = int(http_offsets[i]), int(http_offsets[i + 1])
+        http = {
+            column: np.asarray(
+                arrays[f"http_{column}"][lo:hi], dtype=dtype
+            ).copy()
+            for column, dtype in _HTTP_DTYPES.items()
+        }
+        labels = SessionLabels(
+            rebuffering_ratio=float(arrays["label_rebuffering_ratio"][i]),
+            rebuffering=int(arrays["label_rebuffering"][i]),
+            quality=int(arrays["label_quality"][i]),
+            combined=int(arrays["label_combined"][i]),
+        )
+        sessions.append(
+            SessionRecord(
+                service=service,
+                video_id=str(arrays["video_id"][i]),
+                tls_transactions=table.transactions(i),
+                http=http,
+                transfers=np.asarray(
+                    arrays["transfers"][
+                        transfer_offsets[i]:transfer_offsets[i + 1]
+                    ],
+                    dtype=np.float64,
+                ).reshape(-1, 10).copy(),
+                connections=np.asarray(
+                    arrays["connections"][
+                        connection_offsets[i]:connection_offsets[i + 1]
+                    ],
+                    dtype=np.float64,
+                ).reshape(-1, 3).copy(),
+                labels=labels,
+                watch_duration_s=float(arrays["watch_duration_s"][i]),
+                session_end=float(arrays["session_end"][i]),
+                play_time=float(arrays["play_time"][i]),
+                stall_time=float(arrays["stall_time"][i]),
+                startup_delay=float(arrays["startup_delay"][i]),
+                link_mean_bps=float(arrays["link_mean_bps"][i]),
+                session_hosts=tuple(
+                    hosts[host_offsets[i]:host_offsets[i + 1]]
+                ),
+            )
+        )
+    dataset = Dataset(service=service, sessions=sessions)
+    dataset._tls_table = table
+    return dataset
+
+
+# ----------------------------------------------------------------------
+# Manifest entries
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's manifest row."""
+
+    name: str
+    n_sessions: int
+    sha256: str
+    #: ``target -> [low, medium, high]`` session counts.
+    label_counts: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_sessions": self.n_sessions,
+            "sha256": self.sha256,
+            "label_counts": self.label_counts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardEntry":
+        return cls(
+            name=str(payload["name"]),
+            n_sessions=int(payload["n_sessions"]),
+            sha256=str(payload["sha256"]),
+            label_counts={
+                target: [int(c) for c in counts]
+                for target, counts in payload["label_counts"].items()
+            },
+        )
+
+
+def write_shard(
+    root: str | Path,
+    index: int,
+    service: str,
+    records: "Sequence[SessionRecord]",
+) -> ShardEntry:
+    """Serialize one shard atomically and return its manifest entry.
+
+    The npz bytes are built in memory (one shard is small by
+    construction), hashed, and committed with temp + ``os.replace`` —
+    a reader never sees a torn shard file.
+    """
+    root = Path(root)
+    name = shard_name(index)
+    with telemetry.span("shard.write", shard=name, sessions=len(records)) as sp:
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **encode_shard(service, records))
+        raw = buffer.getvalue()
+        sp.set(bytes=len(raw))
+        atomic_write_bytes(root / name, raw)
+    label_counts = {
+        target: np.bincount(
+            np.array([r.labels.get(target) for r in records], dtype=np.int64),
+            minlength=3,
+        ).tolist()
+        for target in TARGETS
+    }
+    return ShardEntry(
+        name=name,
+        n_sessions=len(records),
+        sha256=hashlib.sha256(raw).hexdigest(),
+        label_counts=label_counts,
+    )
+
+
+def manifest_payload(
+    service: str, shard_size: int, entries: Sequence[ShardEntry]
+) -> dict:
+    """The manifest dict for a list of shard entries."""
+    return {
+        "format": 4,
+        "service": service,
+        "shard_size": int(shard_size),
+        "n_sessions": int(sum(e.n_sessions for e in entries)),
+        "shards": [e.to_dict() for e in entries],
+    }
+
+
+def write_manifest(root: str | Path, payload: dict) -> None:
+    """Commit the manifest (the write that makes the corpus visible)."""
+    atomic_write_bytes(
+        Path(root) / MANIFEST_NAME,
+        (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode(),
+    )
+
+
+def save_sharded(dataset, path: str | Path, shard_size: int) -> "ShardedDataset":
+    """Write any corpus as a format-4 shard directory.
+
+    ``dataset`` is a :class:`~repro.collection.dataset.Dataset` or a
+    :class:`ShardedDataset` (re-sharding); sessions are consumed
+    shard-at-a-time, so peak memory is bounded by ``shard_size`` even
+    when re-sharding a corpus that does not fit in RAM.  Shard files
+    are written first (each atomic), the manifest last; any stale
+    manifest is removed up front so a crash mid-write leaves an
+    explicitly incomplete directory, and stale shard files beyond the
+    new manifest are cleaned up afterwards.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    manifest = root / MANIFEST_NAME
+    if manifest.exists():
+        manifest.unlink()
+    service = dataset.service
+    with telemetry.span(
+        "dataset.save_sharded", sessions=len(dataset), shard_size=shard_size
+    ):
+        entries: list[ShardEntry] = []
+        pending: list = []
+        for record in dataset:
+            pending.append(record)
+            if len(pending) == shard_size:
+                entries.append(write_shard(root, len(entries), service, pending))
+                pending = []
+        if pending:
+            entries.append(write_shard(root, len(entries), service, pending))
+        keep = {e.name for e in entries}
+        for stale in root.glob("shard-*.npz"):
+            if stale.name not in keep:
+                stale.unlink()
+        write_manifest(root, manifest_payload(service, shard_size, entries))
+    return ShardedDataset.load(root)
+
+
+# ----------------------------------------------------------------------
+# The lazy corpus view
+
+
+class ShardedDataset:
+    """A format-4 corpus: manifest in memory, shards loaded on demand.
+
+    Duck-compatible with :class:`~repro.collection.dataset.Dataset`
+    everywhere the pipeline reads corpora — ``service``, ``len()``,
+    iteration (shard-at-a-time), ``labels``/``label_distribution``,
+    ``profile`` — plus the shard-level access the out-of-core paths
+    use (:meth:`shard`, :meth:`iter_shards`, :meth:`iter_tables`).
+    Materialized shards sit in a small LRU; ``counters`` tallies
+    ``materialized``/``cache_hits`` (mirrored as ``shards.*``
+    telemetry counters) so cache behaviour is provable in benchmarks.
+    """
+
+    #: Format version of this layout (continues the file formats 1-3).
+    format = 4
+
+    def __init__(
+        self,
+        root: Path,
+        payload: dict,
+        max_cached_shards: int = _DEFAULT_CACHED_SHARDS,
+    ):
+        self.root = Path(root)
+        self.service: str = str(payload["service"])
+        self.shard_size: int = int(payload["shard_size"])
+        self.entries: list[ShardEntry] = [
+            ShardEntry.from_dict(e) for e in payload["shards"]
+        ]
+        self.n_sessions: int = int(payload["n_sessions"])
+        self.max_cached_shards = max_cached_shards
+        self.counters = {"materialized": 0, "cache_hits": 0}
+        self._payload = payload
+        self._cache: OrderedDict[int, "Dataset"] = OrderedDict()
+        self._bounds = np.zeros(len(self.entries) + 1, dtype=np.int64)
+        counts = np.fromiter(
+            (e.n_sessions for e in self.entries),
+            dtype=np.int64,
+            count=len(self.entries),
+        )
+        np.cumsum(counts, out=self._bounds[1:])
+        if int(self._bounds[-1]) != self.n_sessions:
+            raise ValueError(
+                f"manifest claims {self.n_sessions} sessions but shards "
+                f"hold {int(self._bounds[-1])}"
+            )
+
+    # -- loading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardedDataset":
+        """Open a shard directory (or its ``manifest.json``) lazily.
+
+        Only the manifest is read.  A directory without one — an
+        interrupted write, or simply not a corpus — raises
+        :class:`~repro.collection.dataset.DatasetFormatError` with a
+        message saying so; a malformed manifest likewise.
+        """
+        root = Path(path)
+        if root.name == MANIFEST_NAME:
+            root = root.parent
+        manifest = root / MANIFEST_NAME
+        if not manifest.is_file():
+            raise _format_error(
+                root,
+                f"no {MANIFEST_NAME} (incomplete shard directory — "
+                "interrupted write? — or not a corpus)",
+            )
+        try:
+            payload = json.loads(manifest.read_text())
+            if not isinstance(payload, dict):
+                raise ValueError("manifest is not a JSON object")
+            version = payload.get("format")
+            if version != 4:
+                raise ValueError(f"unknown shard-directory format {version!r}")
+            return cls(root, payload)
+        except (KeyError, IndexError, ValueError, TypeError) as exc:
+            raise _format_error(root, str(exc)) from exc
+
+    # -- dataset interface ---------------------------------------------
+    @property
+    def profile(self):
+        """The service profile this corpus was collected on."""
+        from repro.has.services import get_service
+
+        return get_service(self.service)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.entries)
+
+    @property
+    def manifest_digest(self) -> str:
+        """Content address of the corpus (SHA-256 of the canonical
+        manifest, which itself contains every shard's digest).  This is
+        what :mod:`repro.artifacts` fingerprints chain from."""
+        return hashlib.sha256(
+            canonical_json(self._payload).encode()
+        ).hexdigest()[:24]
+
+    def __len__(self) -> int:
+        return self.n_sessions
+
+    def __iter__(self) -> "Iterator[SessionRecord]":
+        for i in range(self.n_shards):
+            yield from self.shard(i).sessions
+
+    def __getitem__(self, index: int) -> "SessionRecord":
+        if index < 0:
+            index += self.n_sessions
+        if not 0 <= index < self.n_sessions:
+            raise IndexError(f"session index {index} out of range")
+        s = int(np.searchsorted(self._bounds, index, side="right")) - 1
+        return self.shard(s)[index - int(self._bounds[s])]
+
+    def labels(self, target: str) -> np.ndarray:
+        """Ground-truth categories, streamed from the label columns.
+
+        Reads only each shard's ``label_<target>`` npz member — no
+        transaction or transfer data is ever decompressed.
+        """
+        if target not in TARGETS:
+            raise ValueError(
+                f"unknown target {target!r}; expected one of {TARGETS}"
+            )
+        parts = []
+        for i in range(self.n_shards):
+            cached = self._cache.get(i)
+            if cached is not None:
+                parts.append(cached.labels(target))
+                continue
+            try:
+                with np.load(self._shard_path(i), allow_pickle=False) as z:
+                    parts.append(np.asarray(z[f"label_{target}"], dtype=np.int64))
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+                raise _format_error(
+                    self.root, f"cannot read labels of {self.entries[i].name}: {exc}"
+                ) from exc
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def label_distribution(self, target: str) -> np.ndarray:
+        """Fraction of sessions per category, straight off the manifest."""
+        if target not in TARGETS:
+            raise ValueError(
+                f"unknown target {target!r}; expected one of {TARGETS}"
+            )
+        counts = np.zeros(3, dtype=np.int64)
+        for entry in self.entries:
+            counts += np.asarray(entry.label_counts[target], dtype=np.int64)
+        if counts.sum() == 0:
+            return np.zeros(3)
+        return counts / counts.sum()
+
+    # -- shard access --------------------------------------------------
+    def _shard_path(self, index: int) -> Path:
+        return self.root / self.entries[index].name
+
+    def shard(self, index: int) -> "Dataset":
+        """Materialize one shard as a :class:`Dataset` (LRU-cached)."""
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard index {index} out of range")
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            self.counters["cache_hits"] += 1
+            telemetry.count("shards.cache_hit")
+            return cached
+        entry = self.entries[index]
+        with telemetry.span("shard.load", shard=entry.name) as sp:
+            try:
+                with np.load(self._shard_path(index), allow_pickle=False) as z:
+                    dataset = decode_shard({name: z[name] for name in z.files})
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+                raise _format_error(
+                    self.root, f"cannot read shard {entry.name}: {exc}"
+                ) from exc
+            if len(dataset) != entry.n_sessions:
+                raise _format_error(
+                    self.root,
+                    f"shard {entry.name} holds {len(dataset)} sessions, "
+                    f"manifest says {entry.n_sessions}",
+                )
+            sp.set(sessions=len(dataset))
+        self.counters["materialized"] += 1
+        telemetry.count("shards.materialized")
+        self._cache[index] = dataset
+        while len(self._cache) > self.max_cached_shards:
+            self._cache.popitem(last=False)
+        return dataset
+
+    def iter_shards(self) -> "Iterator[tuple[ShardEntry, Dataset]]":
+        """``(entry, shard)`` pairs, materialized one at a time."""
+        for i, entry in enumerate(self.entries):
+            yield entry, self.shard(i)
+
+    def iter_tables(self) -> Iterator[TransactionTable]:
+        """Per-shard transaction tables, for shard-at-a-time reduction."""
+        for i in range(self.n_shards):
+            yield self.shard(i).tls_table()
+
+    def tls_table(self) -> TransactionTable:
+        """The whole corpus's transactions as one table.
+
+        This *materializes every shard* — it exists for compatibility
+        with consumers that genuinely need the corpus-level view;
+        out-of-core paths should use :meth:`iter_tables`.
+        """
+        return TransactionTable.concat(list(self.iter_tables()))
+
+    def drop_caches(self) -> None:
+        """Forget materialized shards (benchmarks simulate cold reads)."""
+        self._cache.clear()
+
+    def to_dataset(self) -> "Dataset":
+        """Materialize the whole corpus as a monolithic dataset."""
+        from repro.collection.dataset import Dataset
+
+        return Dataset(service=self.service, sessions=list(self))
+
+    # -- integrity -----------------------------------------------------
+    def verify(self) -> dict:
+        """Re-hash every shard file against the manifest.
+
+        Returns ``{"shards": n, "bytes": total}`` on success; raises
+        :class:`~repro.collection.dataset.DatasetFormatError` naming
+        every missing or corrupt shard otherwise.
+        """
+        problems = []
+        total = 0
+        for entry in self.entries:
+            path = self.root / entry.name
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                problems.append(f"{entry.name}: missing")
+                continue
+            total += len(raw)
+            actual = hashlib.sha256(raw).hexdigest()
+            if actual != entry.sha256:
+                problems.append(
+                    f"{entry.name}: digest mismatch "
+                    f"(manifest {entry.sha256[:12]}..., file {actual[:12]}...)"
+                )
+        if problems:
+            raise _format_error(self.root, "; ".join(problems))
+        return {"shards": self.n_shards, "bytes": total}

@@ -41,6 +41,7 @@ __all__ = [
     "ENV_VARS",
     "JOBS_ENV_VAR",
     "SCALE_ENV_VAR",
+    "SHARD_SIZE_ENV_VAR",
     "SMOKE_ENV_VAR",
     "TRACE_ENV_VAR",
     "get_config",
@@ -54,6 +55,7 @@ SCALE_ENV_VAR = "REPRO_SCALE"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 SMOKE_ENV_VAR = "REPRO_SMOKE"
 TRACE_ENV_VAR = "REPRO_TRACE"
+SHARD_SIZE_ENV_VAR = "REPRO_SHARD_SIZE"
 
 #: The variables that participate in a :class:`Config`, in display order.
 ENV_VARS = (
@@ -62,6 +64,7 @@ ENV_VARS = (
     CACHE_DIR_ENV_VAR,
     SMOKE_ENV_VAR,
     TRACE_ENV_VAR,
+    SHARD_SIZE_ENV_VAR,
 )
 
 #: Where ``REPRO_TRACE=1`` writes its trace (relative to the cwd);
@@ -92,6 +95,11 @@ class Config:
     trace_path:
         Where a CLI/run_all trace session flushes its JSONL file;
         ``None`` leaves the trace in memory (library use).
+    shard_size:
+        Sessions per shard for out-of-core (format-4) corpora
+        (``REPRO_SHARD_SIZE``).  ``None`` (the default) keeps corpora
+        monolithic; a positive value makes the corpus stage collect
+        and store sharded directories instead.
     sources:
         ``field name -> provenance`` ("env", "default", or an override
         label such as "--trace"), for ``config show``.
@@ -103,6 +111,7 @@ class Config:
     smoke: bool = False
     trace: bool = False
     trace_path: Path | None = None
+    shard_size: int | None = None
     sources: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False
     )
@@ -118,6 +127,11 @@ class Config:
             ("cache_dir", str(self.cache_dir), CACHE_DIR_ENV_VAR),
             ("smoke", str(self.smoke), SMOKE_ENV_VAR),
             ("trace", trace_value, TRACE_ENV_VAR),
+            (
+                "shard_size",
+                "monolithic" if self.shard_size is None else str(self.shard_size),
+                SHARD_SIZE_ENV_VAR,
+            ),
         ]
         return [
             (name, value, var, self.sources.get(name, "default"))
@@ -150,6 +164,23 @@ def _parse_scale(raw: str | None) -> float:
     return value
 
 
+def _parse_shard_size(raw: str | None) -> int | None:
+    if raw is None or raw == "" or raw == "0":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SHARD_SIZE_ENV_VAR} must be a positive integer "
+            f"(or 0/unset for monolithic corpora), got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{SHARD_SIZE_ENV_VAR} must be >= 1 (or 0/unset), got {value}"
+        )
+    return value
+
+
 def _parse_trace(raw: str | None) -> tuple[bool, Path | None]:
     if raw is None or raw.strip().lower() in ("", "0", "false", "off", "no"):
         return False, None
@@ -169,6 +200,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
             ("cache_dir", CACHE_DIR_ENV_VAR),
             ("smoke", SMOKE_ENV_VAR),
             ("trace", TRACE_ENV_VAR),
+            ("shard_size", SHARD_SIZE_ENV_VAR),
         )
     }
     sources["trace_path"] = sources["trace"]
@@ -181,6 +213,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
         smoke=raw[SMOKE_ENV_VAR] == "1",
         trace=trace,
         trace_path=trace_path,
+        shard_size=_parse_shard_size(raw[SHARD_SIZE_ENV_VAR]),
         sources=sources,
     )
 

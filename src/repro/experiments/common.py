@@ -26,7 +26,10 @@ turns one into an estimator.
 
 from __future__ import annotations
 
+import shutil
 import sys
+import tempfile
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -34,6 +37,7 @@ import numpy as np
 from repro.artifacts import CACHE_VERSION, get_store
 from repro.collection.dataset import Dataset, DatasetFormatError
 from repro.collection.harness import collect_corpus
+from repro.collection.shards import ShardedDataset
 from repro.features.packet_features import extract_ml16_matrix
 from repro.features.tls_features import (
     TEMPORAL_INTERVALS,
@@ -52,6 +56,7 @@ __all__ = [
     "corpus_size",
     "get_corpus",
     "dataset_stage",
+    "ShardedDatasetCodec",
     "profile_corpus",
     "dataset_digest",
     "features_for",
@@ -113,14 +118,47 @@ class DatasetCodec:
 DATASET_CODEC = DatasetCodec()
 
 
-def dataset_digest(dataset: Dataset) -> str | None:
-    """The artifact digest a dataset was stored under, if any.
+class ShardedDatasetCodec:
+    """Sharded corpora persist as their whole format-4 directory.
 
-    Only datasets produced by :func:`get_corpus` / :func:`dataset_stage`
-    carry one; ad-hoc corpora (unit tests, CLI files) return None and
+    ``save`` *moves* the corpus directory into the store (the build
+    stages it under the same cache root, so the move is a rename) and
+    re-roots the live :class:`~repro.collection.shards.ShardedDataset`
+    at its committed location; ``load`` is just the lazy manifest read.
+    """
+
+    extension = ".shards"
+    load_errors = (OSError, DatasetFormatError)
+
+    def save(self, value: ShardedDataset, path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            shutil.rmtree(path)
+        shutil.move(str(value.root), str(path))
+        value.root = path
+
+    def load(self, path) -> ShardedDataset:
+        return ShardedDataset.load(path)
+
+
+SHARDED_DATASET_CODEC = ShardedDatasetCodec()
+
+
+def dataset_digest(dataset: Dataset) -> str | None:
+    """The content digest feature/CV stages should chain from, if any.
+
+    Datasets produced by :func:`get_corpus` / :func:`dataset_stage`
+    carry their artifact digest; a sharded corpus additionally carries
+    its manifest digest (itself covering every shard's SHA-256), which
+    serves even when the corpus never went through the store.  Ad-hoc
+    monolithic corpora (unit tests, CLI files) return None and
     downstream helpers skip caching for them.
     """
-    return getattr(dataset, "_artifact_digest", None)
+    key = getattr(dataset, "_artifact_digest", None)
+    if key is not None:
+        return key
+    return getattr(dataset, "manifest_digest", None)
 
 
 def dataset_stage(
@@ -128,19 +166,24 @@ def dataset_stage(
     config: dict,
     build: Callable[[], Dataset],
     use_disk: bool = True,
+    codec=DATASET_CODEC,
 ) -> Dataset:
     """A corpus-valued artifact stage.
 
     ``build`` runs on a miss; the resulting dataset is stored through
-    :class:`DatasetCodec`, tagged with its digest, and its columnar
-    transaction table is materialized once so every downstream consumer
-    shares one instance.
+    ``codec`` (:class:`DatasetCodec` for monolithic corpora,
+    :class:`ShardedDatasetCodec` for format-4 directories), tagged with
+    its digest, and — for monolithic corpora — its columnar transaction
+    table is materialized once so every downstream consumer shares one
+    instance.  Sharded corpora stay lazy: materializing the table would
+    defeat the out-of-core point.
     """
     dataset, key = get_store().get_or_compute(
-        stage, config, build, codec=DATASET_CODEC, use_disk=use_disk
+        stage, config, build, codec=codec, use_disk=use_disk
     )
     dataset._artifact_digest = key
-    dataset.tls_table()
+    if not hasattr(dataset, "iter_shards"):
+        dataset.tls_table()
     return dataset
 
 
@@ -164,11 +207,52 @@ def get_corpus(
     cached by earlier versions under the flat ``(service, size, seed)``
     naming are adopted into the store transparently; an unreadable
     legacy file is ignored with a one-line warning, never an error.
+
+    With ``REPRO_SHARD_SIZE`` set (``config.shard_size``), the stage
+    collects through the shard fleet instead and stores a format-4
+    directory: the returned corpus is a lazy
+    :class:`~repro.collection.shards.ShardedDataset` and a warm run
+    reads only its manifest.  The sessions themselves are bit-identical
+    either way (same per-session seed streams), but the artifacts are
+    distinct stages: ``shard_size`` participates in the fingerprint.
     """
+    from repro.config import get_config
+
     if n_sessions is None:
         n_sessions = corpus_size(service)
     if seed is None:
         seed = _CORPUS_SEEDS[service]
+
+    shard_size = get_config().shard_size
+    if shard_size is not None:
+
+        def build_sharded() -> ShardedDataset:
+            from repro.artifacts import cache_dir
+            from repro.collection.fleet import collect_corpus_sharded
+
+            # Stage under the cache root so the codec's commit is a
+            # same-filesystem rename.
+            cache_dir().mkdir(parents=True, exist_ok=True)
+            staging = Path(
+                tempfile.mkdtemp(dir=cache_dir(), prefix=".corpus-staging-")
+            )
+            return collect_corpus_sharded(
+                service, n_sessions, staging,
+                shard_size=shard_size, seed=seed,
+            )
+
+        return dataset_stage(
+            "corpus",
+            {
+                "service": service,
+                "n_sessions": n_sessions,
+                "seed": seed,
+                "shard_size": shard_size,
+            },
+            build_sharded,
+            use_disk=use_disk_cache,
+            codec=SHARDED_DATASET_CODEC,
+        )
 
     def build() -> Dataset:
         legacy = _legacy_corpus_path(service, n_sessions, seed)
@@ -214,7 +298,18 @@ def profile_corpus(
 def features_for(
     dataset: Dataset, intervals: tuple[int, ...] = TEMPORAL_INTERVALS
 ) -> tuple[np.ndarray, tuple[str, ...]]:
-    """The TLS feature matrix of a corpus — the ``tls-features`` stage."""
+    """The TLS feature matrix of a corpus — the ``tls-features`` stage.
+
+    Sharded corpora go through the fleet instead
+    (:func:`repro.collection.fleet.extract_tls_sharded`): one artifact
+    per shard keyed by the shard's own SHA-256, probe-then-compute, so
+    a warm run is all per-shard cache hits and peak memory stays
+    bounded by the shard size.
+    """
+    if hasattr(dataset, "iter_shards"):
+        from repro.collection.fleet import extract_tls_sharded
+
+        return extract_tls_sharded(dataset, intervals=intervals)
     names = feature_names(intervals)
     key = dataset_digest(dataset)
     if key is None:

@@ -63,6 +63,14 @@ class RandomForestClassifier:
         Passed through to each tree.
     max_features:
         Features considered per split (default ``"sqrt"``).
+    max_samples:
+        Fraction of the corpus each tree's bootstrap draws (default
+        ``None`` = 1.0, the classic ``n``-sized bootstrap).  With
+        ``tree_method="hist"`` the corpus-level bins are fit once on
+        the *full* matrix and every subsampled tree reuses the same
+        uint8 codes — subsampling never re-bins.  ``max_samples=1.0``
+        is exactly equivalent to ``None`` (same generator draws), so
+        turning the knob off cannot perturb existing results.
     oob_score:
         When true, compute the out-of-bag accuracy after fitting.
     random_state:
@@ -85,6 +93,7 @@ class RandomForestClassifier:
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | str | None = "sqrt",
+        max_samples: float | None = None,
         oob_score: bool = False,
         random_state: int | None = None,
         n_jobs: int | None = None,
@@ -96,11 +105,16 @@ class RandomForestClassifier:
             raise ValueError(
                 f"tree_method must be 'exact' or 'hist', got {tree_method!r}"
             )
+        if max_samples is not None and not 0.0 < max_samples <= 1.0:
+            raise ValueError(
+                f"max_samples must be in (0, 1], got {max_samples}"
+            )
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
+        self.max_samples = max_samples
         self.oob_score = oob_score
         self.random_state = random_state
         self.n_jobs = n_jobs
@@ -155,8 +169,13 @@ class RandomForestClassifier:
         # Pre-draw every tree's bootstrap sample and seed, in the same
         # order the sequential loop consumed the generator — the one
         # stream of randomness all execution paths share.
+        m = (
+            n
+            if self.max_samples is None
+            else max(1, int(round(self.max_samples * n)))
+        )
         specs = [
-            (rng.integers(0, n, size=n), int(rng.integers(2**31 - 1)))
+            (rng.integers(0, n, size=m), int(rng.integers(2**31 - 1)))
             for _ in range(self.n_estimators)
         ]
 

@@ -123,7 +123,20 @@ def extract_flow_matrix(
     featurization happens columnar: one table for every flow slice in
     the corpus, segment reductions for the packet statistics.  Output
     is bit-identical to stacking :func:`extract_flow_features`.
+
+    A :class:`~repro.collection.shards.ShardedDataset` is reduced shard
+    at a time (rows stacked in manifest order) — every feature is a
+    within-session reduction, so the chunking cannot change any value.
     """
+    if hasattr(dataset, "iter_shards"):
+        blocks = [
+            extract_flow_matrix(shard, config)[0]
+            for _, shard in dataset.iter_shards()
+            if len(shard)
+        ]
+        if not blocks:
+            return np.empty((0, len(FLOW_FEATURE_NAMES))), FLOW_FEATURE_NAMES
+        return np.vstack(blocks), FLOW_FEATURE_NAMES
     if len(dataset) == 0:
         return np.empty((0, len(FLOW_FEATURE_NAMES))), FLOW_FEATURE_NAMES
     with telemetry.span("features.flow", sessions=len(dataset)) as sp:

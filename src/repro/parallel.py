@@ -26,14 +26,20 @@ from __future__ import annotations
 import atexit
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro import telemetry
 from repro.config import JOBS_ENV_VAR, get_config, set_jobs
 
-__all__ = ["JOBS_ENV_VAR", "resolve_jobs", "parallel_map", "shutdown"]
+__all__ = [
+    "JOBS_ENV_VAR",
+    "resolve_jobs",
+    "parallel_map",
+    "parallel_dispatch",
+    "shutdown",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -157,6 +163,56 @@ def parallel_map(
     executor = _executor(jobs)
     try:
         raw = list(executor.map(task, items, chunksize=chunksize))
+    except BrokenProcessPool:
+        _EXECUTORS.pop(jobs, None)
+        raw = [task(item) for item in items]
+    if tracer is None:
+        return raw
+    results = []
+    for result, sub in raw:
+        tracer.merge_subtrace(sub)
+        results.append(result)
+    return results
+
+
+def parallel_dispatch(
+    fn: Callable[[T], R],
+    items: Iterable[T] | Sequence[T],
+    n_jobs: int | None = None,
+) -> list[R]:
+    """Coordinator/worker fan-out: one task per item, dynamic queue.
+
+    The coordinator submits every item as its own pool task and workers
+    pull the next one as they free up — the broadcaster/receiver queue
+    shape — so uneven task durations (shards whose sessions differ in
+    length) balance dynamically instead of by static chunking.  Use
+    this for *coarse* tasks (one shard each) where per-task pickling is
+    amortized; :func:`parallel_map` with chunking remains the right
+    tool for fine-grained items.
+
+    Results keep the input order (and worker subtraces are merged in
+    input order), so callers are bit-identical for any worker count,
+    exactly as with :func:`parallel_map`.  Falls back to the plain
+    sequential loop when one worker is requested, there is at most one
+    item, or the pool breaks.
+    """
+    items = list(items)
+    jobs = min(resolve_jobs(n_jobs), len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    tracer = telemetry.active_tracer()
+    task = _TracedTask(fn) if tracer is not None else fn
+    executor = _executor(jobs)
+    try:
+        futures = [executor.submit(task, item) for item in items]
+        # Drain as tasks finish (keeps the queue moving under memory
+        # pressure) but keep results in submission order.
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                future.result()  # surface worker exceptions eagerly
+        raw = [future.result() for future in futures]
     except BrokenProcessPool:
         _EXECUTORS.pop(jobs, None)
         raw = [task(item) for item in items]

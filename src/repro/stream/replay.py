@@ -7,6 +7,12 @@ sources the repo already has — back-to-back workload streams, saved
 load generator for the concurrency benchmarks — plus the
 equivalence check the CLI ``--batch-check`` flag and CI use to prove
 streaming verdicts equal the batch pipeline's.
+
+Format-4 shard directories replay lazily: :func:`dataset_streams`
+only iterates the corpus, and a
+:class:`~repro.collection.shards.ShardedDataset` iterates
+shard-at-a-time, so replaying an out-of-core corpus never
+materializes more than one shard of sessions at once.
 """
 
 from __future__ import annotations

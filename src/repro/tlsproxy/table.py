@@ -174,6 +174,80 @@ class TransactionTable:
             )
 
     @classmethod
+    def concat(cls, tables: Sequence["TransactionTable"]) -> "TransactionTable":
+        """Stack tables end to end (shard slabs -> one corpus table).
+
+        Sessions keep their order: the result's session ``i`` is the
+        ``i``-th session across the concatenated inputs, with rows and
+        offsets rebased.  The SNI column survives only when every input
+        carries one.  An empty input list yields an empty table.
+        """
+        if not tables:
+            return cls(
+                start=np.empty(0), end=np.empty(0), uplink=np.empty(0),
+                downlink=np.empty(0), offsets=np.zeros(1, dtype=np.int64),
+                sni=(),
+            )
+        if len(tables) == 1:
+            return tables[0]
+        offsets_parts = [np.zeros(1, dtype=np.int64)]
+        base = 0
+        for table in tables:
+            offsets_parts.append(table.offsets[1:] + base)
+            base += table.n_rows
+        sni: tuple[str, ...] | None = None
+        if all(t.sni is not None for t in tables):
+            sni = tuple(h for t in tables for h in t.sni)
+        return cls(
+            start=np.concatenate([t.start for t in tables]),
+            end=np.concatenate([t.end for t in tables]),
+            uplink=np.concatenate([t.uplink for t in tables]),
+            downlink=np.concatenate([t.downlink for t in tables]),
+            offsets=np.concatenate(offsets_parts),
+            sni=sni,
+        )
+
+    # -- slab codec ------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The table as plain arrays (the format-4 shard slab layout).
+
+        SNI hostnames are dictionary-encoded: a sorted unique ``hosts``
+        unicode array plus int32 per-row ``host_codes``.  Everything is
+        numeric or unicode, so the dict round-trips through ``np.savez``
+        without pickle.
+        """
+        if self.sni is None:
+            raise ValueError("table has no SNI column; shard slabs require one")
+        hosts = sorted(set(self.sni))
+        host_code = {h: i for i, h in enumerate(hosts)}
+        codes = np.fromiter(
+            (host_code[h] for h in self.sni), dtype=np.int32, count=self.n_rows
+        )
+        return {
+            "start": self.start,
+            "end": self.end,
+            "uplink": self.uplink,
+            "downlink": self.downlink,
+            "offsets": self.offsets,
+            "hosts": np.asarray(hosts, dtype=np.str_),
+            "host_codes": codes,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "TransactionTable":
+        """Inverse of :meth:`to_arrays` (exact round-trip)."""
+        hosts = [str(h) for h in arrays["hosts"]]
+        codes = np.asarray(arrays["host_codes"], dtype=np.int64)
+        return cls(
+            start=arrays["start"],
+            end=arrays["end"],
+            uplink=arrays["uplink"],
+            downlink=arrays["downlink"],
+            offsets=arrays["offsets"],
+            sni=tuple(hosts[c] for c in codes),
+        )
+
+    @classmethod
     def from_transactions(
         cls, transactions: Sequence[TlsTransaction]
     ) -> "TransactionTable":

@@ -30,6 +30,7 @@ class TestSignatures:
             "cross_validate",
             "detect_sessions",
             "extract_features",
+            "load_corpus",
             "run_experiment",
             "train_model",
         ]

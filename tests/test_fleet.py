@@ -1,0 +1,185 @@
+"""Coordinator/worker fleet tests: worker-count determinism, golden
+equivalence with the monolithic pipeline, and exact per-shard cache
+accounting."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.artifacts import get_store
+from repro.collection.dataset import Dataset
+from repro.collection.fleet import (
+    collect_corpus_sharded,
+    extract_tls_sharded,
+    score_sharded,
+    shard_bounds,
+)
+from repro.collection.harness import collect_corpus
+from repro.features.tls_features import extract_tls_matrix
+from repro.ml.forest import RandomForestClassifier
+
+N_SESSIONS = 13
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def monolithic():
+    return collect_corpus("svc1", N_SESSIONS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def sharded(tmp_path_factory):
+    out = tmp_path_factory.mktemp("fleet") / "corpus.shards"
+    return collect_corpus_sharded(
+        "svc1", N_SESSIONS, out, shard_size=4, seed=SEED, n_jobs=1
+    )
+
+
+class TestShardBounds:
+    def test_covers_every_session(self):
+        assert shard_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert shard_bounds(8, 4) == [(0, 4), (4, 8)]
+        assert shard_bounds(0, 4) == []
+        assert shard_bounds(3, 100) == [(0, 3)]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            shard_bounds(10, 0)
+
+
+class TestCollect:
+    def test_identical_for_any_worker_count(self, sharded, tmp_path):
+        parallel = collect_corpus_sharded(
+            "svc1", N_SESSIONS, tmp_path / "p.shards",
+            shard_size=4, seed=SEED, n_jobs=4,
+        )
+        assert parallel.manifest_digest == sharded.manifest_digest
+        assert [e.sha256 for e in parallel.entries] == [
+            e.sha256 for e in sharded.entries
+        ]
+
+    def test_identical_to_monolithic_collection(self, monolithic, sharded):
+        """Per-session SeedSequence streams make the corpus independent
+        of how it is chunked onto shards."""
+        assert len(sharded) == len(monolithic)
+        for ra, rb in zip(monolithic, sharded):
+            assert ra.tls_transactions == rb.tls_transactions
+            assert ra.labels == rb.labels
+
+    def test_shard_size_does_not_change_sessions(self, sharded, tmp_path):
+        other = collect_corpus_sharded(
+            "svc1", N_SESSIONS, tmp_path / "o.shards",
+            shard_size=7, seed=SEED, n_jobs=2,
+        )
+        np.testing.assert_array_equal(
+            other.tls_table().start, sharded.tls_table().start
+        )
+        np.testing.assert_array_equal(
+            other.labels("combined"), sharded.labels("combined")
+        )
+
+    def test_overwrites_previous_manifest(self, tmp_path):
+        out = tmp_path / "re.shards"
+        collect_corpus_sharded("svc1", 5, out, shard_size=2, seed=1, n_jobs=1)
+        redone = collect_corpus_sharded(
+            "svc1", 3, out, shard_size=2, seed=2, n_jobs=1
+        )
+        assert len(redone) == 3
+        assert len(Dataset.load(out)) == 3
+
+
+class TestExtract:
+    def test_matches_monolithic_and_reconciles_counters(
+        self, monolithic, sharded, tmp_path
+    ):
+        X_mono, names_mono = extract_tls_matrix(monolithic)
+        with config.override(cache_dir=tmp_path / "cache"):
+            store = get_store()
+            store.reset_counters()
+            X_cold, names = extract_tls_sharded(sharded, n_jobs=2)
+            cold = store.counter_snapshot()
+            store.reset_counters()
+            store.clear_memory()
+            X_warm, _ = extract_tls_sharded(sharded, n_jobs=2)
+            warm = store.counter_snapshot()
+
+        assert names == names_mono
+        np.testing.assert_array_equal(X_cold, X_mono)
+        np.testing.assert_array_equal(X_warm, X_mono)
+        # Probe-then-compute accounting: every shard is exactly one
+        # miss cold and exactly one hit warm — no double counting.
+        assert cold["misses"] == sharded.n_shards
+        assert cold["hits"] == 0
+        assert warm["misses"] == 0
+        assert warm["hits"] == sharded.n_shards
+
+    def test_warm_run_reads_no_shards(self, sharded, tmp_path):
+        with config.override(cache_dir=tmp_path / "cache"):
+            extract_tls_sharded(sharded, n_jobs=1)
+            sharded.drop_caches()
+            before = sharded.counters["materialized"]
+            extract_tls_sharded(sharded, n_jobs=1)
+        assert sharded.counters["materialized"] == before
+
+    def test_worker_count_invariance(self, sharded, tmp_path):
+        with config.override(cache_dir=tmp_path / "c1"):
+            X1, _ = extract_tls_sharded(sharded, n_jobs=1)
+        with config.override(cache_dir=tmp_path / "c4"):
+            X4, _ = extract_tls_sharded(sharded, n_jobs=4)
+        np.testing.assert_array_equal(X1, X4)
+
+    def test_extract_via_feature_facade(self, monolithic, sharded):
+        """extract_tls_matrix accepts the sharded corpus directly and
+        reduces shard-at-a-time to the exact monolithic matrix."""
+        X_mono, _ = extract_tls_matrix(monolithic)
+        X_shard, _ = extract_tls_matrix(sharded)
+        np.testing.assert_array_equal(X_shard, X_mono)
+
+
+class TestScore:
+    def test_matches_monolithic_predictions(self, monolithic, sharded, tmp_path):
+        X, _ = extract_tls_matrix(monolithic)
+        y = monolithic.labels("combined")
+        model = RandomForestClassifier(
+            n_estimators=8, random_state=0, n_jobs=1
+        ).fit(X, y)
+        expected = model.predict(X)
+        for jobs in (1, 2):
+            got = score_sharded(model, sharded, n_jobs=jobs)
+            np.testing.assert_array_equal(got, expected)
+
+
+class TestExperimentsIntegration:
+    def test_sharded_get_corpus_equals_monolithic(self, tmp_path):
+        from repro.experiments.common import features_for, get_corpus
+
+        with config.override(cache_dir=tmp_path / "mono", scale=0.01):
+            mono = get_corpus("svc1")
+            X_mono, _ = features_for(mono)
+            y_mono = mono.labels("combined")
+        with config.override(
+            cache_dir=tmp_path / "shard", scale=0.01, shard_size=4
+        ):
+            store = get_store()
+            store.reset_counters()
+            sharded = get_corpus("svc1")
+            assert hasattr(sharded, "iter_shards")
+            X_shard, _ = features_for(sharded)
+            y_shard = sharded.labels("combined")
+            cold = store.counter_snapshot()
+
+            # Warm re-run touches only the manifest: zero recomputes,
+            # zero shard materializations.
+            store.reset_counters()
+            store.clear_memory()
+            warm_ds = get_corpus("svc1")
+            warm_ds.drop_caches()
+            X_warm, _ = features_for(warm_ds)
+            warm = store.counter_snapshot()
+
+        np.testing.assert_array_equal(X_shard, X_mono)
+        np.testing.assert_array_equal(y_shard, y_mono)
+        np.testing.assert_array_equal(X_warm, X_mono)
+        assert cold["misses"] > 0
+        assert warm["misses"] == 0
+        assert warm_ds.counters["materialized"] == 0
