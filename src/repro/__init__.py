@@ -35,6 +35,7 @@ __all__ = [
     "detect_sessions",
     "extract_features",
     "get_config",
+    "list_scenarios",
     "load_corpus",
     "run_experiment",
     "train_model",
@@ -52,6 +53,7 @@ _API_NAMES = frozenset(
         "cross_validate",
         "detect_sessions",
         "extract_features",
+        "list_scenarios",
         "load_corpus",
         "run_experiment",
         "train_model",

@@ -56,6 +56,7 @@ __all__ = [
     "cross_validate",
     "detect_sessions",
     "extract_features",
+    "list_scenarios",
     "load_corpus",
     "run_experiment",
     "train_model",
@@ -71,6 +72,7 @@ def collect_corpus(
     n_sessions: int,
     seed: int = 0,
     config: CollectionConfig | None = None,
+    scenario: "str | None" = None,
     jobs: int | None = None,
     out: "str | None" = None,
     shard_size: int | None = None,
@@ -90,6 +92,13 @@ def collect_corpus(
     config:
         Optional :class:`~repro.collection.harness.CollectionConfig`
         overriding watch durations / the bandwidth-trace mixture.
+    scenario:
+        Network-impairment scenario name to stream every session over
+        (see :func:`list_scenarios`).  Default: the ``config``
+        argument's scenario, then ``REPRO_SCENARIO``, then identity.
+        Unknown names raise
+        :class:`~repro.net.scenarios.UnknownScenarioError` before any
+        session is simulated.
     jobs:
         Worker processes (default: the resolved config's ``jobs``).
     out:
@@ -108,6 +117,16 @@ def collect_corpus(
         The collected corpus, ready for :func:`extract_features`
         (a lazy ``ShardedDataset`` when ``out`` is given).
     """
+    if scenario is not None:
+        import dataclasses
+
+        from repro.net.scenarios import resolve_scenario
+
+        # Validate before any session is simulated, and pin into the
+        # config so pool/fleet workers see the same resolution.
+        config = dataclasses.replace(
+            config or CollectionConfig(), scenario=resolve_scenario(scenario)
+        )
     if out is not None:
         from repro.collection.fleet import collect_corpus_sharded
 
@@ -118,6 +137,27 @@ def collect_corpus(
     if shard_size is not None:
         raise ValueError("shard_size needs out= (a target shard directory)")
     return _collect_corpus(service, n_sessions, seed=seed, config=config, n_jobs=jobs)
+
+
+def list_scenarios() -> "list[dict[str, str]]":
+    """The registered network-impairment scenarios, identity first.
+
+    Each entry is ``{"name", "title", "description", "pipeline"}`` —
+    plain strings, ready for display.  Pass an entry's ``name`` as
+    :func:`collect_corpus`'s ``scenario`` (or set ``REPRO_SCENARIO``)
+    to stream a corpus over it.
+    """
+    from repro.net.scenarios import all_scenarios
+
+    return [
+        {
+            "name": sc.name,
+            "title": sc.title,
+            "description": sc.description,
+            "pipeline": sc.describe(),
+        }
+        for sc in all_scenarios()
+    ]
 
 
 def load_corpus(path: "str") -> Dataset:

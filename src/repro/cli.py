@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Nine subcommands cover the operational workflow an ISP user of this
+Ten subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
     python -m repro collect  --service svc1 -n 5000 --shard-size 512 -o corpus.shards
+    python -m repro collect  --service svc1 -n 500 --scenario policed-2mbps -o policed.json.gz
     python -m repro corpus   info|verify|shard PATH [-o DIR --shard-size N]
+    python -m repro scenario [--list] [NAME ...]
     python -m repro train    --corpus corpus.json.gz -o model.pkl
     python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
     python -m repro split    --transactions stream.json [--demo svc1]
@@ -99,7 +101,65 @@ def _unit_float(text: str) -> float:
     return value
 
 
+def _scenario_name(text: str) -> str:
+    """Validate a ``--scenario`` value against the registry up front,
+    so a typo is a two-line usage error naming the valid names instead
+    of a traceback from the first collected session."""
+    from repro.net.scenarios import UnknownScenarioError, get_scenario
+
+    try:
+        get_scenario(text)
+    except UnknownScenarioError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _resolve_cli_scenario(args: argparse.Namespace):
+    """The scenario ``collect`` should stream over, or an error string.
+
+    Returns ``(scenario_or_None, None)`` on success — ``None`` meaning
+    "no flag given, let ``REPRO_SCENARIO`` decide" — or
+    ``(None, message)`` when the override flags are inconsistent.
+    """
+    from repro.net import scenarios as scenarios_mod
+
+    overrides = {
+        "police_rate": args.police_rate,
+        "police_burst": args.police_burst,
+        "queue_bytes": args.queue_bytes,
+    }
+    given = {k: v for k, v in overrides.items() if v is not None}
+    if args.scenario is None:
+        if given:
+            flags = ", ".join("--" + k.replace("_", "-") for k in given)
+            return None, (
+                f"{flags} only customize a scenario; add --scenario NAME "
+                "(see 'repro scenario --list')"
+            )
+        return None, None
+    scenario = scenarios_mod.get_scenario(args.scenario)
+    if given:
+        try:
+            scenario = scenarios_mod.customize(scenario, **overrides)
+        except ValueError as exc:
+            return None, str(exc)
+    return scenario, None
+
+
 def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.collection.harness import (
+        CollectionConfig,
+        resolve_collection_scenario,
+    )
+
+    scenario, error = _resolve_cli_scenario(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = CollectionConfig(scenario=scenario)
+    resolved = resolve_collection_scenario(config)
+    over = "" if resolved.is_identity else f" over scenario {resolved.name}"
+
     shard_size = args.shard_size
     if shard_size is None:
         shard_size = config_mod.get_config().shard_size
@@ -108,21 +168,50 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
         dataset = collect_corpus_sharded(
             args.service, args.sessions, args.output,
-            shard_size=shard_size, seed=args.seed, n_jobs=args.jobs,
+            shard_size=shard_size, seed=args.seed, config=config,
+            n_jobs=args.jobs,
         )
         suffix = f" ({dataset.n_shards} shards of <= {shard_size})"
     else:
         dataset = collect_corpus(
-            args.service, args.sessions, seed=args.seed, n_jobs=args.jobs
+            args.service, args.sessions, seed=args.seed, config=config,
+            n_jobs=args.jobs,
         )
         dataset.save(args.output)
         suffix = ""
     dist = dataset.label_distribution("combined")
     print(
-        f"collected {len(dataset)} {args.service} sessions -> {args.output}"
-        f"{suffix} "
+        f"collected {len(dataset)} {args.service} sessions{over} "
+        f"-> {args.output}{suffix} "
         f"(combined QoE: {dist[0]:.0%}/{dist[1]:.0%}/{dist[2]:.0%} low/med/high)"
     )
+    if not resolved.is_identity:
+        policed = dataset.labels("policed")
+        print(
+            f"  pipeline: {resolved.describe()}\n"
+            f"  policed sessions: {int(policed.sum())}/{len(dataset)}"
+        )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.net import scenarios as scenarios_mod
+
+    if args.list or not args.names:
+        name_w = max(len(n) for n in scenarios_mod.scenario_names())
+        for name in scenarios_mod.scenario_names():
+            sc = scenarios_mod.get_scenario(name)
+            print(f"{name:<{name_w}}  {sc.description}")
+        return 0
+    try:
+        picked = [scenarios_mod.get_scenario(name) for name in args.names]
+    except scenarios_mod.UnknownScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for sc in picked:
+        print(f"{sc.name}: {sc.title}")
+        print(f"  {sc.description}")
+        print(f"  pipeline: {sc.describe()}")
     return 0
 
 
@@ -154,6 +243,10 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             print(f"{args.path}: format {version} (monolithic file)")
             print(f"  service: {dataset.service}")
             print(f"  sessions: {len(dataset)}")
+        scenario = getattr(dataset, "scenario", "identity")
+        if scenario != "identity":
+            policed = int(dataset.labels("policed").sum())
+            print(f"  scenario: {scenario} ({policed}/{len(dataset)} policed)")
         for target in TARGETS:
             dist = dataset.label_distribution(target)
             print(
@@ -518,7 +611,41 @@ def build_parser() -> argparse.ArgumentParser:
              "directory with N sessions per shard (also: REPRO_SHARD_SIZE; "
              "sessions are bit-identical either way)",
     )
+    p.add_argument(
+        "--scenario", type=_scenario_name, default=None, metavar="NAME",
+        help="stream every session over a network-impairment scenario "
+             "(also: REPRO_SCENARIO; see 'repro scenario --list'; "
+             "default: identity, the unimpaired pipeline)",
+    )
+    p.add_argument(
+        "--police-rate", type=_positive_float, default=None, metavar="BPS",
+        help="override the scenario's token-bucket policer rate, "
+             "bits/second (> 0; requires --scenario with a policer stage)",
+    )
+    p.add_argument(
+        "--police-burst", type=_positive_int, default=None, metavar="BYTES",
+        help="override the scenario's policer burst size, bytes (>= 1; "
+             "requires --scenario with a policer stage)",
+    )
+    p.add_argument(
+        "--queue-bytes", type=_positive_int, default=None, metavar="BYTES",
+        help="override the scenario's bottleneck queue capacity, bytes "
+             "(>= 1; requires --scenario with a queue stage)",
+    )
     p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser(
+        "scenario",
+        help="list or describe network-impairment scenarios",
+        description="With no arguments (or --list): one line per "
+                    "registered scenario. With names: the full "
+                    "impairment pipeline of each.",
+    )
+    p.add_argument("names", nargs="*",
+                   help="e.g. policed-2mbps bufferbloat-1mb ...")
+    p.add_argument("--list", action="store_true",
+                   help="list registered scenarios and exit")
+    p.set_defaults(func=_cmd_scenario)
 
     p = sub.add_parser(
         "corpus",

@@ -144,6 +144,7 @@ class SessionRecord:
     startup_delay: float
     link_mean_bps: float
     session_hosts: tuple[str, ...] = ()
+    scenario: str = "identity"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -203,6 +204,7 @@ class SessionRecord:
             startup_delay=trace.startup_delay,
             link_mean_bps=trace.link_mean_bps,
             session_hosts=tuple(sorted(trace.hosts.all_hosts)),
+            scenario=getattr(trace, "scenario", "identity"),
         )
 
     # ------------------------------------------------------------------
@@ -241,13 +243,20 @@ class SessionRecord:
                 rtt_s=float(row[9]),
             )
 
-    def packet_trace(self, seed: int = 0) -> PacketTrace:
-        """Synthesize this session's packet trace on demand."""
+    def packet_trace(self, seed: int = 0, pacing: str = "uniform") -> PacketTrace:
+        """Synthesize this session's packet trace on demand.
+
+        ``pacing="burst"`` front-loads data packets within each
+        transfer — the token-bucket policing wire signature.
+        """
         connections = [
             (int(row[0]), float(row[1]), float(row[2])) for row in self.connections
         ]
         return synthesize_packet_trace(
-            self.iter_transfers(), connections, rng=np.random.default_rng(seed)
+            self.iter_transfers(),
+            connections,
+            rng=np.random.default_rng(seed),
+            pacing=pacing,
         )
 
     def resource_mask(self, resource: ResourceType) -> np.ndarray:
@@ -281,6 +290,13 @@ class SessionRecord:
             "link_mean_bps": self.link_mean_bps,
             "session_hosts": list(self.session_hosts),
         }
+        # Scenario metadata and the policed label are written only when
+        # set: identity corpora must serialize byte-for-byte as before
+        # the scenario engine existed (golden-digest contract).
+        if self.scenario != "identity":
+            payload["scenario"] = self.scenario
+        if self.labels.policed:
+            payload["labels"]["policed"] = self.labels.policed
         if include_tls:
             payload["tls_transactions"] = [
                 [t.start, t.end, t.uplink_bytes, t.downlink_bytes, t.sni]
@@ -313,6 +329,7 @@ class SessionRecord:
             rebuffering=payload["labels"]["rebuffering"],
             quality=payload["labels"]["quality"],
             combined=payload["labels"]["combined"],
+            policed=int(payload["labels"].get("policed", 0)),
         )
         if tls_transactions is None:
             tls_transactions = [
@@ -344,6 +361,7 @@ class SessionRecord:
             startup_delay=payload["startup_delay"],
             link_mean_bps=payload["link_mean_bps"],
             session_hosts=tuple(payload["session_hosts"]),
+            scenario=payload.get("scenario", "identity"),
         )
 
 
@@ -372,6 +390,15 @@ class Dataset:
     def profile(self) -> ServiceProfile:
         """The service profile this corpus was collected on."""
         return get_service(self.service)
+
+    @property
+    def scenario(self) -> str:
+        """The network scenario the corpus was collected under.
+
+        Corpora are collected under exactly one scenario, so the first
+        session's record speaks for all (empty corpora are identity).
+        """
+        return self.sessions[0].scenario if self.sessions else "identity"
 
     def labels(self, target: str) -> np.ndarray:
         """Ground-truth categories for a target (``combined`` etc.)."""

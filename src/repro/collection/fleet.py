@@ -35,6 +35,7 @@ monolithic counterparts for ``REPRO_JOBS=1`` and any other count.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 from pathlib import Path
 
@@ -42,7 +43,11 @@ import numpy as np
 
 from repro import telemetry
 from repro.artifacts import get_store
-from repro.collection.harness import CollectionConfig, collect_records
+from repro.collection.harness import (
+    CollectionConfig,
+    collect_records,
+    resolve_collection_scenario,
+)
 from repro.collection.shards import (
     ShardEntry,
     ShardedDataset,
@@ -142,6 +147,12 @@ def collect_corpus_sharded(
         raise ValueError("n_sessions must be non-negative")
     profile = service if isinstance(service, ServiceProfile) else get_service(service)
     config = config or CollectionConfig()
+    # Pin the resolved scenario before dispatch: fleet workers re-parse
+    # their own environment, so a coordinator-side override would
+    # otherwise silently degrade to identity (and break bit-identity
+    # between worker counts).
+    scenario = resolve_collection_scenario(config)
+    config = dataclasses.replace(config, scenario=scenario)
     shard_size = _resolve_shard_size(shard_size)
     root = Path(out)
     root.mkdir(parents=True, exist_ok=True)
@@ -166,7 +177,12 @@ def collect_corpus_sharded(
         sp.set(shards=len(tasks))
         raw_entries = parallel_dispatch(_collect_shard, tasks, n_jobs=jobs)
         entries = [ShardEntry.from_dict(e) for e in raw_entries]
-        write_manifest(root, manifest_payload(profile.name, shard_size, entries))
+        write_manifest(
+            root,
+            manifest_payload(
+                profile.name, shard_size, entries, scenario=scenario.name
+            ),
+        )
     return ShardedDataset.load(root)
 
 

@@ -9,6 +9,7 @@ simulator and packs the result into a :class:`SessionRecord`.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 from dataclasses import dataclass, field
 
@@ -19,14 +20,16 @@ from repro.collection.dataset import Dataset, SessionRecord
 from repro.has.player import PlayerSession, SessionTrace
 from repro.has.services import ServiceProfile, get_service
 from repro.has.video import Video
+from repro.config import get_config
 from repro.net.bandwidth import BandwidthTrace, TraceFamily, generate_trace
-from repro.net.link import Link
+from repro.net.scenarios import Scenario, resolve_scenario
 from repro.net.tcp import TcpParams
 from repro.parallel import parallel_map, resolve_jobs
 
 __all__ = [
     "CollectionConfig",
     "default_tcp_params",
+    "resolve_collection_scenario",
     "collect_session",
     "collect_records",
     "collect_corpus",
@@ -52,6 +55,11 @@ class CollectionConfig:
     Defaults reproduce the paper's setup: watch durations spanning
     10-1200 s (log-uniform, so the Figure-3b duration buckets are all
     populated) and the FCC/3G/LTE trace mixture.
+
+    ``scenario`` names the network-impairment scenario every session
+    streams over; ``None`` inherits ``REPRO_SCENARIO`` (resolved at
+    collection time and pinned into the config before worker dispatch,
+    so pool workers never re-read the coordinator's environment).
     """
 
     min_watch_s: float = 30.0
@@ -64,6 +72,7 @@ class CollectionConfig:
         }
     )
     catalog_seed: int = 0
+    scenario: str | Scenario | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.min_watch_s <= self.max_watch_s:
@@ -93,6 +102,25 @@ class CollectionConfig:
         return generate_trace(family, rng, duration=self.max_watch_s + 100.0)
 
 
+def resolve_collection_scenario(
+    config: CollectionConfig | None = None,
+    scenario: str | Scenario | None = None,
+) -> Scenario:
+    """Resolve the scenario a collection run streams over.
+
+    Precedence: an explicit ``scenario`` argument beats the config's
+    pinned scenario, which beats the process environment
+    (``REPRO_SCENARIO``).  Callers that fan work out to pool workers
+    must pin the result into the config first — workers re-read their
+    own environment, which may not match a coordinator-side override.
+    """
+    if scenario is not None:
+        return resolve_scenario(scenario)
+    if config is not None and config.scenario is not None:
+        return resolve_scenario(config.scenario)
+    return resolve_scenario(get_config().scenario)
+
+
 def collect_session(
     profile: ServiceProfile,
     video: Video,
@@ -101,9 +129,11 @@ def collect_session(
     watch_duration_s: float | None = None,
     config: CollectionConfig | None = None,
     warm_start: bool = False,
+    scenario: str | Scenario | None = None,
 ) -> SessionTrace:
     """Stream one session and return the full simulation trace."""
     config = config or CollectionConfig()
+    sc = resolve_collection_scenario(config, scenario)
     if trace is None:
         trace = config.sample_trace(rng)
     if watch_duration_s is None:
@@ -111,7 +141,7 @@ def collect_session(
     player = PlayerSession(
         profile=profile,
         video=video,
-        link=Link(trace=trace),
+        link=sc.build_path(trace),
         rng=rng,
         watch_duration_s=watch_duration_s,
         tcp_params_factory=default_tcp_params,
@@ -177,6 +207,12 @@ def collect_corpus(
         raise ValueError("n_sessions must be non-negative")
     profile = service if isinstance(service, ServiceProfile) else get_service(service)
     config = config or CollectionConfig()
+    # Pin the resolved scenario into the config before dispatch: pool
+    # workers re-parse their own environment, so a coordinator-side
+    # config.override() would otherwise silently degrade to identity.
+    config = dataclasses.replace(
+        config, scenario=resolve_collection_scenario(config)
+    )
     jobs = resolve_jobs(n_jobs)
     if jobs > 1:
         try:  # custom profiles may close over unpicklable state

@@ -148,6 +148,15 @@ def encode_shard(service: str, records: "Sequence[SessionRecord]") -> dict:
         arrays[f"label_{target}"] = np.array(
             [r.labels.get(target) for r in records], dtype=np.int64
         )
+    # Scenario metadata and the policed label appear only in impaired
+    # corpora: identity shards must serialize byte-for-byte as before
+    # the scenario engine existed (golden-digest contract).
+    scenario = records[0].scenario if records else "identity"
+    if scenario != "identity":
+        arrays["scenario"] = _str_array([scenario])
+    policed = np.array([r.labels.policed for r in records], dtype=np.int64)
+    if policed.any():
+        arrays["label_policed"] = policed
     hosts = [h for r in records for h in r.session_hosts]
     arrays["session_hosts"] = _str_array(hosts)
     arrays["session_hosts_offsets"] = _offsets_of(
@@ -185,6 +194,12 @@ def decode_shard(arrays: dict) -> "Dataset":
     from repro.collection.dataset import Dataset, SessionRecord
 
     service = str(arrays["service"][0])
+    scenario = str(arrays["scenario"][0]) if "scenario" in arrays else "identity"
+    policed = (
+        np.asarray(arrays["label_policed"], dtype=np.int64)
+        if "label_policed" in arrays
+        else None
+    )
     table = TransactionTable.from_arrays(
         {k[len("tls_"):]: arrays[k] for k in arrays if k.startswith("tls_")}
     )
@@ -216,6 +231,7 @@ def decode_shard(arrays: dict) -> "Dataset":
             rebuffering=int(arrays["label_rebuffering"][i]),
             quality=int(arrays["label_quality"][i]),
             combined=int(arrays["label_combined"][i]),
+            policed=int(policed[i]) if policed is not None else 0,
         )
         sessions.append(
             SessionRecord(
@@ -245,6 +261,7 @@ def decode_shard(arrays: dict) -> "Dataset":
                 session_hosts=tuple(
                     hosts[host_offsets[i]:host_offsets[i + 1]]
                 ),
+                scenario=scenario,
             )
         )
     dataset = Dataset(service=service, sessions=sessions)
@@ -314,6 +331,11 @@ def write_shard(
         ).tolist()
         for target in TARGETS
     }
+    policed = np.array([r.labels.policed for r in records], dtype=np.int64)
+    if policed.any():
+        # Manifest rows stay unchanged for clean corpora (digest
+        # contract); impaired ones additionally count [clean, policed].
+        label_counts["policed"] = np.bincount(policed, minlength=2).tolist()
     return ShardEntry(
         name=name,
         n_sessions=len(records),
@@ -323,16 +345,27 @@ def write_shard(
 
 
 def manifest_payload(
-    service: str, shard_size: int, entries: Sequence[ShardEntry]
+    service: str,
+    shard_size: int,
+    entries: Sequence[ShardEntry],
+    scenario: str = "identity",
 ) -> dict:
-    """The manifest dict for a list of shard entries."""
-    return {
+    """The manifest dict for a list of shard entries.
+
+    The scenario key is emitted only for impaired corpora, so identity
+    manifests — and therefore their digests, the artifact-cache content
+    addresses — are byte-identical to pre-scenario ones.
+    """
+    payload = {
         "format": 4,
         "service": service,
         "shard_size": int(shard_size),
         "n_sessions": int(sum(e.n_sessions for e in entries)),
         "shards": [e.to_dict() for e in entries],
     }
+    if scenario != "identity":
+        payload["scenario"] = str(scenario)
+    return payload
 
 
 def write_manifest(root: str | Path, payload: dict) -> None:
@@ -379,7 +412,15 @@ def save_sharded(dataset, path: str | Path, shard_size: int) -> "ShardedDataset"
         for stale in root.glob("shard-*.npz"):
             if stale.name not in keep:
                 stale.unlink()
-        write_manifest(root, manifest_payload(service, shard_size, entries))
+        write_manifest(
+            root,
+            manifest_payload(
+                service,
+                shard_size,
+                entries,
+                scenario=getattr(dataset, "scenario", "identity"),
+            ),
+        )
     return ShardedDataset.load(root)
 
 
@@ -411,6 +452,7 @@ class ShardedDataset:
     ):
         self.root = Path(root)
         self.service: str = str(payload["service"])
+        self.scenario: str = str(payload.get("scenario", "identity"))
         self.shard_size: int = int(payload["shard_size"])
         self.entries: list[ShardEntry] = [
             ShardEntry.from_dict(e) for e in payload["shards"]
@@ -504,11 +546,14 @@ class ShardedDataset:
         """Ground-truth categories, streamed from the label columns.
 
         Reads only each shard's ``label_<target>`` npz member — no
-        transaction or transfer data is ever decompressed.
+        transaction or transfer data is ever decompressed.  The
+        ``policed`` column is optional on disk (clean shards omit it),
+        so its absence decodes as all-zeros.
         """
-        if target not in TARGETS:
+        if target not in TARGETS and target != "policed":
             raise ValueError(
-                f"unknown target {target!r}; expected one of {TARGETS}"
+                f"unknown target {target!r}; expected one of "
+                f"{TARGETS + ('policed',)}"
             )
         parts = []
         for i in range(self.n_shards):
@@ -518,7 +563,13 @@ class ShardedDataset:
                 continue
             try:
                 with np.load(self._shard_path(i), allow_pickle=False) as z:
-                    parts.append(np.asarray(z[f"label_{target}"], dtype=np.int64))
+                    member = f"label_{target}"
+                    if target == "policed" and member not in z.files:
+                        parts.append(
+                            np.zeros(self.entries[i].n_sessions, dtype=np.int64)
+                        )
+                    else:
+                        parts.append(np.asarray(z[member], dtype=np.int64))
             except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
                 raise _format_error(
                     self.root, f"cannot read labels of {self.entries[i].name}: {exc}"

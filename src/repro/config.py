@@ -2,7 +2,8 @@
 environment.
 
 Every knob the pipeline honours (``REPRO_JOBS``, ``REPRO_SCALE``,
-``REPRO_CACHE_DIR``, ``REPRO_SMOKE``, ``REPRO_TRACE``) is parsed here,
+``REPRO_CACHE_DIR``, ``REPRO_SMOKE``, ``REPRO_TRACE``,
+``REPRO_SHARD_SIZE``, ``REPRO_SCENARIO``) is parsed here,
 exactly once per distinct environment, into one frozen
 :class:`Config`.  Downstream modules call :func:`get_config` (or take
 a ``Config`` argument) instead of reading ``os.environ`` themselves —
@@ -19,8 +20,8 @@ monkeypatching the process environment.  Tests now use
     with repro.config.override(cache_dir=tmp_path):
         cli.main(["cache", "info"])   # reads the tmpdir, env untouched
 
-:func:`get_config` re-parses only when the five variables actually
-change, so calling it in hot paths costs five dict lookups, not a
+:func:`get_config` re-parses only when the watched variables actually
+change, so calling it in hot paths costs a few dict lookups, not a
 parse.  ``python -m repro config show`` prints the resolved values and
 where each came from.
 """
@@ -41,6 +42,7 @@ __all__ = [
     "ENV_VARS",
     "JOBS_ENV_VAR",
     "SCALE_ENV_VAR",
+    "SCENARIO_ENV_VAR",
     "SHARD_SIZE_ENV_VAR",
     "SMOKE_ENV_VAR",
     "TRACE_ENV_VAR",
@@ -56,6 +58,7 @@ CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 SMOKE_ENV_VAR = "REPRO_SMOKE"
 TRACE_ENV_VAR = "REPRO_TRACE"
 SHARD_SIZE_ENV_VAR = "REPRO_SHARD_SIZE"
+SCENARIO_ENV_VAR = "REPRO_SCENARIO"
 
 #: The variables that participate in a :class:`Config`, in display order.
 ENV_VARS = (
@@ -65,6 +68,7 @@ ENV_VARS = (
     SMOKE_ENV_VAR,
     TRACE_ENV_VAR,
     SHARD_SIZE_ENV_VAR,
+    SCENARIO_ENV_VAR,
 )
 
 #: Where ``REPRO_TRACE=1`` writes its trace (relative to the cwd);
@@ -100,6 +104,12 @@ class Config:
         (``REPRO_SHARD_SIZE``).  ``None`` (the default) keeps corpora
         monolithic; a positive value makes the corpus stage collect
         and store sharded directories instead.
+    scenario:
+        Network-impairment scenario every collection run streams over
+        (``REPRO_SCENARIO``; default ``"identity"``, the unimpaired
+        pipeline).  The name is validated against the scenario registry
+        at collection time, not here — config must stay importable
+        without :mod:`repro.net`.
     sources:
         ``field name -> provenance`` ("env", "default", or an override
         label such as "--trace"), for ``config show``.
@@ -112,6 +122,7 @@ class Config:
     trace: bool = False
     trace_path: Path | None = None
     shard_size: int | None = None
+    scenario: str = "identity"
     sources: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False
     )
@@ -132,6 +143,7 @@ class Config:
                 "monolithic" if self.shard_size is None else str(self.shard_size),
                 SHARD_SIZE_ENV_VAR,
             ),
+            ("scenario", self.scenario, SCENARIO_ENV_VAR),
         ]
         return [
             (name, value, var, self.sources.get(name, "default"))
@@ -181,6 +193,14 @@ def _parse_shard_size(raw: str | None) -> int | None:
     return value
 
 
+def _parse_scenario(raw: str | None) -> str:
+    if raw is None or not raw.strip():
+        return "identity"
+    # Name validation (with the list of registered scenarios in the
+    # error) happens in repro.net.scenarios at collection time.
+    return raw.strip()
+
+
 def _parse_trace(raw: str | None) -> tuple[bool, Path | None]:
     if raw is None or raw.strip().lower() in ("", "0", "false", "off", "no"):
         return False, None
@@ -201,6 +221,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
             ("smoke", SMOKE_ENV_VAR),
             ("trace", TRACE_ENV_VAR),
             ("shard_size", SHARD_SIZE_ENV_VAR),
+            ("scenario", SCENARIO_ENV_VAR),
         )
     }
     sources["trace_path"] = sources["trace"]
@@ -214,6 +235,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
         trace=trace,
         trace_path=trace_path,
         shard_size=_parse_shard_size(raw[SHARD_SIZE_ENV_VAR]),
+        scenario=_parse_scenario(raw[SCENARIO_ENV_VAR]),
         sources=sources,
     )
 

@@ -30,6 +30,10 @@ Beyond the paper's artifacts (its stated future work and limitations):
 | interactions      | pause/seek impact on inference accuracy          |
 | realtime          | partial-session (detection-latency) curve        |
 | startup           | startup-delay estimation from the same features  |
+| robustness        | scenario x service x model accuracy matrix under |
+|                   | adversarial networks (policing, bufferbloat, ...)|
+| policing          | detect *that* a session was policed from the     |
+|                   | 38 TLS features (clean vs policed corpora)       |
 """
 
 from repro.experiments import common

@@ -36,8 +36,9 @@ import numpy as np
 
 from repro.artifacts import CACHE_VERSION, get_store
 from repro.collection.dataset import Dataset, DatasetFormatError
-from repro.collection.harness import collect_corpus
+from repro.collection.harness import CollectionConfig, collect_corpus
 from repro.collection.shards import ShardedDataset
+from repro.net.scenarios import resolve_scenario
 from repro.features.packet_features import extract_ml16_matrix
 from repro.features.tls_features import (
     TEMPORAL_INTERVALS,
@@ -55,6 +56,7 @@ __all__ = [
     "scale",
     "corpus_size",
     "get_corpus",
+    "scenario_corpus",
     "dataset_stage",
     "ShardedDatasetCodec",
     "profile_corpus",
@@ -199,6 +201,7 @@ def get_corpus(
     n_sessions: int | None = None,
     seed: int | None = None,
     use_disk_cache: bool = True,
+    scenario: str | None = None,
 ) -> Dataset:
     """The evaluation corpus for one service — the ``corpus`` stage.
 
@@ -215,6 +218,12 @@ def get_corpus(
     reads only its manifest.  The sessions themselves are bit-identical
     either way (same per-session seed streams), but the artifacts are
     distinct stages: ``shard_size`` participates in the fingerprint.
+
+    ``scenario`` (default: ``REPRO_SCENARIO``) collects the corpus
+    over a network-impairment scenario.  The scenario name joins the
+    stage fingerprint only when non-identity, so impaired and clean
+    corpora cache side by side and existing identity cache entries
+    stay valid.
     """
     from repro.config import get_config
 
@@ -222,6 +231,14 @@ def get_corpus(
         n_sessions = corpus_size(service)
     if seed is None:
         seed = _CORPUS_SEEDS[service]
+    sc = resolve_scenario(
+        scenario if scenario is not None else get_config().scenario
+    )
+
+    stage_config = {"service": service, "n_sessions": n_sessions, "seed": seed}
+    if not sc.is_identity:
+        stage_config["scenario"] = sc.name
+    collection_config = CollectionConfig(scenario=sc)
 
     shard_size = get_config().shard_size
     if shard_size is not None:
@@ -239,16 +256,12 @@ def get_corpus(
             return collect_corpus_sharded(
                 service, n_sessions, staging,
                 shard_size=shard_size, seed=seed,
+                config=collection_config,
             )
 
         return dataset_stage(
             "corpus",
-            {
-                "service": service,
-                "n_sessions": n_sessions,
-                "seed": seed,
-                "shard_size": shard_size,
-            },
+            {**stage_config, "shard_size": shard_size},
             build_sharded,
             use_disk=use_disk_cache,
             codec=SHARDED_DATASET_CODEC,
@@ -256,7 +269,7 @@ def get_corpus(
 
     def build() -> Dataset:
         legacy = _legacy_corpus_path(service, n_sessions, seed)
-        if use_disk_cache and legacy.exists():
+        if sc.is_identity and use_disk_cache and legacy.exists():
             try:
                 return Dataset.load(legacy)
             except (OSError, DatasetFormatError) as exc:
@@ -265,14 +278,30 @@ def get_corpus(
                     f"{legacy}: {exc}",
                     file=sys.stderr,
                 )
-        return collect_corpus(service, n_sessions, seed=seed)
+        return collect_corpus(
+            service, n_sessions, seed=seed, config=collection_config
+        )
 
     return dataset_stage(
         "corpus",
-        {"service": service, "n_sessions": n_sessions, "seed": seed},
+        stage_config,
         build,
         use_disk=use_disk_cache,
     )
+
+
+def scenario_corpus(
+    service: str,
+    scenario: str,
+    n_sessions: int | None = None,
+    seed: int | None = None,
+) -> Dataset:
+    """The evaluation corpus collected under a named scenario.
+
+    A thin, explicit wrapper over :func:`get_corpus` for the robustness
+    and policing drivers — same sizes, same seeds, different network.
+    """
+    return get_corpus(service, n_sessions=n_sessions, seed=seed, scenario=scenario)
 
 
 def profile_corpus(

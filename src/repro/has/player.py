@@ -13,11 +13,12 @@ and the playback schedule (ground-truth QoE).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.has.buffer import PlaybackSchedule, PlayEvent, Stall
 from repro.has.abr import AbrState
 from repro.has.services import ServiceProfile
@@ -104,6 +105,14 @@ class SessionTrace:
         The hostnames this session used.
     link_mean_bps:
         Mean bandwidth of the underlying trace (evaluation metadata).
+    scenario:
+        Name of the network scenario the session streamed over
+        (``"identity"`` for the unimpaired pipeline).
+    policed:
+        Ground truth: did a token-bucket policer drop packets from this
+        session?  Feeds the ``policed`` label.
+    path_stats:
+        Per-stage cumulative impairment counters (empty for identity).
     """
 
     service_name: str
@@ -121,6 +130,9 @@ class SessionTrace:
     link_mean_bps: float
     n_pauses: int = 0
     n_seeks: int = 0
+    scenario: str = "identity"
+    policed: bool = False
+    path_stats: dict = field(default_factory=dict)
 
     @property
     def play_time(self) -> float:
@@ -150,7 +162,8 @@ class PlayerSession:
     video:
         The title to play.
     link:
-        The access link (bandwidth trace wrapper).
+        The access link: a bare :class:`~repro.net.link.Link` or a
+        :class:`~repro.net.path.NetPath` with impairment stages.
     rng:
         Randomness source for this session.
     watch_duration_s:
@@ -325,6 +338,16 @@ class PlayerSession:
         self._fetch(session_end, ResourceType.BEACON, int(rng.integers(200, 800)))
         self._pool.shutdown(session_end)
 
+        # The link may be a NetPath; a bare Link reports identity with
+        # no stats, so this block is free on the unimpaired path.
+        scenario = getattr(self.link, "scenario", "identity")
+        stats_fn = getattr(self.link, "stats", None)
+        path_stats: dict[str, dict[str, float]] = stats_fn() if stats_fn else {}
+        for stage, counters in path_stats.items():
+            for key, value in counters.items():
+                telemetry.count(f"path.{stage}.{key}", value)
+        policed = bool(path_stats.get("policer", {}).get("dropped_packets", 0))
+
         proxy = TransparentProxy()
         proxy.observe_all(self._pool.all_connections)
         connections = [
@@ -352,6 +375,9 @@ class PlayerSession:
             link_mean_bps=self.link.trace.mean_bps,
             n_pauses=self._n_pauses,
             n_seeks=self._n_seeks,
+            scenario=scenario,
+            policed=policed,
+            path_stats=path_stats,
         )
 
     def _fetch_segment(self, at: float, seg: int, quality: int, size: int) -> float:

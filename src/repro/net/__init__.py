@@ -17,8 +17,27 @@ from repro.net.bandwidth import (
     lte_trace,
     trace_corpus,
 )
+from repro.net.impairments import (
+    Droplist,
+    ImpairmentStage,
+    Queue,
+    Reorderer,
+    Shaper,
+    TokenBucketPolicer,
+    TransferSpec,
+)
 from repro.net.link import Link
 from repro.net.packets import PacketTrace, synthesize_packet_trace
+from repro.net.path import NetPath
+from repro.net.scenarios import (
+    Scenario,
+    StageSpec,
+    UnknownScenarioError,
+    all_scenarios,
+    get_scenario,
+    resolve_scenario,
+    scenario_names,
+)
 from repro.net.tcp import TcpConnection, TcpParams, Transfer
 
 __all__ = [
@@ -30,6 +49,21 @@ __all__ = [
     "generate_trace",
     "trace_corpus",
     "Link",
+    "NetPath",
+    "ImpairmentStage",
+    "TransferSpec",
+    "TokenBucketPolicer",
+    "Shaper",
+    "Droplist",
+    "Reorderer",
+    "Queue",
+    "Scenario",
+    "StageSpec",
+    "UnknownScenarioError",
+    "all_scenarios",
+    "get_scenario",
+    "resolve_scenario",
+    "scenario_names",
     "TcpConnection",
     "TcpParams",
     "Transfer",

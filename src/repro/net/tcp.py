@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.net.impairments import TransferSpec
 from repro.net.link import Link
 
 __all__ = ["TcpParams", "Transfer", "TcpConnection"]
@@ -207,6 +208,31 @@ class TcpConnection:
             # Each retransmission costs roughly one extra RTT of recovery.
             end += n_retx * self.params.rtt_s
         n_up_req = max(1, math.ceil(request_bytes / mss))
+
+        # An impairment pipeline (NetPath) sees each transfer once; a
+        # bare Link has no `impair`, keeping the identity path (and all
+        # pre-scenario corpora) bit-identical.  Stage-induced drops come
+        # back as extra downlink packets and count as retransmissions.
+        impair = getattr(self.link, "impair", None)
+        if impair is not None:
+            spec = TransferSpec(
+                start=start,
+                response_start=response_start,
+                end=end,
+                nbytes=response_bytes,
+                n_packets_down=n_data_down + n_retx,
+                n_packets_up=n_up_req,
+                mss_bytes=mss,
+                rtt_s=self.params.rtt_s,
+                payload_rate=self.link.payload_rate_at(response_start),
+            )
+            out = impair(spec)
+            n_retx += out.n_packets_down - spec.n_packets_down
+            n_up_total = out.n_packets_up
+            end = out.end
+        else:
+            n_up_total = n_up_req
+
         n_acks = (n_data_down + n_retx) // _ACK_RATIO
         transfer = Transfer(
             connection_id=self.connection_id,
@@ -216,7 +242,7 @@ class TcpConnection:
             request_bytes=request_bytes,
             response_bytes=response_bytes,
             n_packets_down=n_data_down + n_retx,
-            n_packets_up=n_up_req + n_acks,
+            n_packets_up=n_up_total + n_acks,
             n_retransmits=n_retx,
             rtt_s=self.params.rtt_s,
         )

@@ -21,7 +21,10 @@ from repro.qoe.metrics import (
 
 __all__ = ["SessionLabels", "compute_labels"]
 
-#: The three estimation targets, by name.
+#: The paper's three estimation targets, by name.  The ``policed``
+#: ground-truth bit (scenario engine) is deliberately *not* listed here:
+#: TARGETS keys serialized label blocks and distribution vectors, so
+#: growing it would perturb every existing corpus digest.
 TARGETS = ("rebuffering", "quality", "combined")
 
 
@@ -30,13 +33,17 @@ class SessionLabels:
     """Ground-truth categorical QoE of one session.
 
     All categories use the shared 0 (worst) … 2 (best) encoding of
-    :mod:`repro.qoe.metrics`.
+    :mod:`repro.qoe.metrics`.  ``policed`` is the scenario engine's
+    ground truth — 1 when a token-bucket policer actually dropped
+    packets from the session (mirroring the server-side heuristic of
+    Flach et al.), 0 otherwise.
     """
 
     rebuffering_ratio: float
     rebuffering: int
     quality: int
     combined: int
+    policed: int = 0
 
     def __post_init__(self) -> None:
         if not (
@@ -45,11 +52,18 @@ class SessionLabels:
             and 0 <= self.combined <= 2
         ):
             raise ValueError("categories must be 0, 1, or 2")
+        if self.policed not in (0, 1):
+            raise ValueError("policed must be 0 or 1")
 
     def get(self, target: str) -> int:
-        """Category for one of ``rebuffering``/``quality``/``combined``."""
+        """Category for a target (the paper's three, or ``policed``)."""
+        if target == "policed":
+            return self.policed
         if target not in TARGETS:
-            raise ValueError(f"unknown target {target!r}; expected one of {TARGETS}")
+            raise ValueError(
+                f"unknown target {target!r}; expected one of "
+                f"{TARGETS + ('policed',)}"
+            )
         return getattr(self, target)
 
 
@@ -70,4 +84,5 @@ def compute_labels(trace: SessionTrace, profile: ServiceProfile) -> SessionLabel
         rebuffering=rr_cat,
         quality=quality_cat,
         combined=combined_qoe(quality_cat, rr_cat),
+        policed=int(getattr(trace, "policed", False)),
     )

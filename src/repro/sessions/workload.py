@@ -64,12 +64,18 @@ def back_to_back_stream(
     seed: int = 0,
     browse_gap_s: float = 4.0,
     config: CollectionConfig | None = None,
+    scenario=None,
 ) -> MergedStream:
     """Simulate ``n_sessions`` consecutive sessions of one user.
 
     All sessions share one bandwidth trace (same network) and the
     service's catalog; watch durations vary per session.  This is the
     paper's "extreme case" evaluation: every boundary is back-to-back.
+
+    ``scenario`` (a name or :class:`~repro.net.scenarios.Scenario`)
+    streams every session over the same impairment scenario — each
+    session still gets fresh stage instances, matching the per-session
+    semantics of corpus collection.
     """
     if n_sessions < 1:
         raise ValueError("need at least one session")
@@ -93,6 +99,7 @@ def back_to_back_stream(
             trace=trace,
             config=config,
             warm_start=i > 0,
+            scenario=scenario,
         )
         per_session.append(session.tls_transactions)
         offsets.append(cursor)

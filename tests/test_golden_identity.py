@@ -1,0 +1,89 @@
+"""Golden-digest equivalence: the identity scenario is bit-identical
+to the pre-refactor pipeline.
+
+These digests were pinned on the commit *before* the impairment-
+pipeline refactor (svc1, 10 sessions, seed=7).  They freeze the whole
+stack below the serialization boundary — bandwidth traces, TCP model,
+HAS player, QoE labels, corpus encoding — so any accidental
+perturbation of the clean path (a reordered RNG draw, a new serialized
+field, a changed default) fails here with a digest mismatch rather
+than silently invalidating every cached corpus.
+
+Format 3 pins the *plain* ``.json`` bytes (gzip embeds an mtime, so
+``.json.gz`` bytes are not stable); format 4 pins the manifest digest,
+which itself covers every shard's SHA-256.  Both are checked at
+``REPRO_JOBS=1`` and ``4``, extending the worker-count-invariance
+contract to the golden bytes.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.collection.harness import collect_corpus
+
+SERVICE = "svc1"
+N_SESSIONS = 10
+SEED = 7
+SHARD_SIZE = 4
+
+#: sha256 of the format-3 plain-JSON corpus file, pre-refactor.
+GOLDEN_FORMAT3_SHA256 = (
+    "3ba8822872f7bf6983a12ff6edde280185432733adf1f23d734549fe9a23c3d2"
+)
+
+#: Format-4 manifest digest (covers shard count, sizes, and shard
+#: SHA-256s) and the per-shard digest prefixes, pre-refactor.
+GOLDEN_MANIFEST_DIGEST = "5f72411e80a4d2175c11778f"
+GOLDEN_SHARD_PREFIXES = (
+    "b3eb34bbe9a12a28",
+    "1ac41344b1e53656",
+    "95e3207837c6cca8",
+)
+
+
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_format3_identity_bytes_match_golden(tmp_path, n_jobs):
+    dataset = collect_corpus(SERVICE, N_SESSIONS, seed=SEED, n_jobs=n_jobs)
+    path = tmp_path / "golden.json"
+    dataset.save(path)
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert digest == GOLDEN_FORMAT3_SHA256, (
+        f"identity corpus bytes changed (jobs={n_jobs}): the refactor "
+        "perturbed the clean pipeline"
+    )
+
+
+@pytest.mark.parametrize("n_jobs", [1, 4])
+def test_format4_identity_digests_match_golden(tmp_path, n_jobs):
+    from repro.collection.fleet import collect_corpus_sharded
+
+    sharded = collect_corpus_sharded(
+        SERVICE,
+        N_SESSIONS,
+        tmp_path / "shards",
+        shard_size=SHARD_SIZE,
+        seed=SEED,
+        n_jobs=n_jobs,
+    )
+    assert sharded.manifest_digest == GOLDEN_MANIFEST_DIGEST
+    prefixes = tuple(entry.sha256[:16] for entry in sharded.entries)
+    assert prefixes == GOLDEN_SHARD_PREFIXES
+
+
+def test_explicit_identity_config_matches_default(tmp_path):
+    # CollectionConfig(scenario="identity") and scenario=None must build
+    # the very same corpus: resolution cannot perturb a byte.
+    from repro.collection.harness import CollectionConfig
+
+    default = collect_corpus(SERVICE, N_SESSIONS, seed=SEED)
+    explicit = collect_corpus(
+        SERVICE,
+        N_SESSIONS,
+        seed=SEED,
+        config=CollectionConfig(scenario="identity"),
+    )
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    default.save(a)
+    explicit.save(b)
+    assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,275 @@
+"""Unit tests for the impairment stages and the NetPath pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.net.bandwidth import fcc_trace
+from repro.net.impairments import (
+    Droplist,
+    Queue,
+    Reorderer,
+    Shaper,
+    TokenBucketPolicer,
+    TransferSpec,
+)
+from repro.net.link import Link
+from repro.net.path import NetPath
+
+
+def spec(
+    start=0.0,
+    response_start=0.1,
+    end=1.0,
+    nbytes=100_000,
+    n_down=70,
+    n_up=2,
+    mss=1460,
+    rtt=0.05,
+    payload_rate=500_000.0,
+):
+    return TransferSpec(
+        start=start,
+        response_start=response_start,
+        end=end,
+        nbytes=nbytes,
+        n_packets_down=n_down,
+        n_packets_up=n_up,
+        mss_bytes=mss,
+        rtt_s=rtt,
+        payload_rate=payload_rate,
+    )
+
+
+class TestTokenBucketPolicer:
+    def test_conformant_burst_passes_untouched(self):
+        # A transfer that fits the initial bucket is the policing
+        # signature's first half: the burst goes through at line rate.
+        policer = TokenBucketPolicer(rate_bps=2_000_000, burst_bytes=256_000)
+        s = spec(nbytes=200_000)
+        out = policer.apply(s)
+        assert out == s
+        assert policer.stats() == {"conformant_transfers": 1}
+
+    def test_excess_is_dropped_and_retransmitted(self):
+        policer = TokenBucketPolicer(rate_bps=1_000_000, burst_bytes=10_000)
+        s = spec(nbytes=500_000, end=1.0)
+        out = policer.apply(s)
+        assert out.end > s.end
+        assert out.n_packets_down > s.n_packets_down
+        stats = policer.stats()
+        assert stats["policed_transfers"] == 1
+        assert stats["dropped_packets"] == out.n_packets_down - s.n_packets_down
+        assert stats["dropped_bytes"] > 0
+
+    def test_policed_completion_is_bucket_bound(self):
+        # 500 KB at 1 Mbps (125 KB/s payload) with an empty-ish bucket:
+        # original + retransmitted bytes must drain through the bucket.
+        policer = TokenBucketPolicer(rate_bps=1_000_000, burst_bytes=10_000)
+        s = spec(nbytes=500_000, end=1.0, rtt=0.05)
+        out = policer.apply(s)
+        rate = 1_000_000 / 8.0
+        deficit = 500_000 - (10_000 + (s.end - s.response_start) * rate)
+        expected = s.response_start + (500_000 + deficit - 10_000) / rate + 0.05
+        assert out.end == pytest.approx(expected)
+
+    def test_bucket_refills_between_transfers(self):
+        policer = TokenBucketPolicer(rate_bps=8_000_000, burst_bytes=100_000)
+        # Drain the bucket completely.
+        policer.apply(spec(response_start=0.1, end=0.2, nbytes=5_000_000))
+        drained_end = policer._t_last
+        # A transfer long after refills the bucket: conformant again.
+        late = spec(
+            response_start=drained_end + 60.0,
+            end=drained_end + 60.5,
+            nbytes=80_000,
+        )
+        out = policer.apply(late)
+        assert out == late
+        assert policer.stats()["conformant_transfers"] == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TokenBucketPolicer(rate_bps=0, burst_bytes=1000)
+        with pytest.raises(ValueError):
+            TokenBucketPolicer(rate_bps=1000, burst_bytes=0)
+
+
+class TestShaper:
+    def test_shaping_delays_but_never_drops(self):
+        shaper = Shaper(rate_bps=1_000_000, burst_bytes=10_000)
+        s = spec(nbytes=500_000, end=1.0)
+        out = shaper.apply(s)
+        assert out.end > s.end
+        assert out.n_packets_down == s.n_packets_down  # zero loss
+        assert out.n_packets_up == s.n_packets_up
+        stats = shaper.stats()
+        assert stats["shaped_transfers"] == 1
+        assert "dropped_packets" not in stats
+        assert stats["delay_s"] == pytest.approx(out.end - s.end)
+
+    def test_shaper_matches_policer_rate_limit(self):
+        # The dual pair: for the same non-conformant transfer, the
+        # shaper finishes no later than the policer (it never pays for
+        # retransmitted copies), and both are rate-bound.
+        s = spec(nbytes=500_000, end=1.0)
+        policed = TokenBucketPolicer(1_000_000, 10_000).apply(s)
+        shaped = Shaper(1_000_000, 10_000).apply(s)
+        assert s.end < shaped.end <= policed.end
+
+    def test_back_to_back_transfers_serialize(self):
+        shaper = Shaper(rate_bps=1_000_000, burst_bytes=10_000)
+        first = shaper.apply(spec(response_start=0.1, end=1.0, nbytes=500_000))
+        second = shaper.apply(spec(response_start=0.2, end=1.1, nbytes=500_000))
+        assert second.end > first.end  # queued behind the first
+
+
+class TestDroplist:
+    def test_indices_are_one_based_and_validated(self):
+        with pytest.raises(ValueError):
+            Droplist(down=(0,))
+        with pytest.raises(ValueError):
+            Droplist(up=(-3,))
+
+    def test_drops_hit_the_right_transfers(self):
+        # Downlink packets 3 and 25: both inside the first transfer of
+        # 20 packets? No — 25 lands in the second.
+        dl = Droplist(down=(3, 25))
+        first = dl.apply(spec(n_down=20, end=1.0, rtt=0.1))
+        assert first.n_packets_down == 21  # one drop + one retransmit copy
+        assert first.end == pytest.approx(1.0 + 0.1)
+        # The retransmit copy advanced the counter to 21, so index 25
+        # is the 4th packet of the next transfer.
+        second = dl.apply(spec(n_down=20, end=1.0, rtt=0.1))
+        assert second.n_packets_down == 21
+        assert dl.stats() == {"dropped_down": 2}
+
+    def test_uplink_drops_count_separately(self):
+        dl = Droplist(up=(1, 2))
+        out = dl.apply(spec(n_up=4, end=1.0, rtt=0.1))
+        assert out.n_packets_up == 6
+        assert out.end == pytest.approx(1.0 + 0.2)
+        assert dl.stats() == {"dropped_up": 2}
+
+    def test_exhausted_droplist_is_identity(self):
+        dl = Droplist(down=(1,))
+        dl.apply(spec(n_down=10))
+        s = spec(n_down=10)
+        assert dl.apply(s) == s
+
+
+class TestReorderer:
+    def test_every_nth_packet_reordered(self):
+        r = Reorderer(delay_s=0.01, every_nth=16)
+        out = r.apply(spec(n_down=40, end=1.0, rtt=0.05))
+        # Packets 16 and 32 are held; the transfer stretches once.
+        assert out.end == pytest.approx(1.0 + 0.01)
+        assert r.stats()["reordered_packets"] == 2
+        # Delay below the RTT: no spurious retransmits.
+        assert out.n_packets_down == 40
+        assert "spurious_retransmits" not in r.stats()
+
+    def test_delay_beyond_rtt_triggers_spurious_retransmits(self):
+        r = Reorderer(delay_s=0.2, every_nth=16)
+        out = r.apply(spec(n_down=40, end=1.0, rtt=0.05))
+        assert out.n_packets_down == 42
+        assert r.stats()["spurious_retransmits"] == 2
+
+    def test_counter_spans_transfers(self):
+        r = Reorderer(delay_s=0.01, every_nth=16)
+        assert r.apply(spec(n_down=10)) == spec(n_down=10)  # packets 1-10
+        out = r.apply(spec(n_down=10, end=1.0))  # packets 11-20: hits 16
+        assert out.end == pytest.approx(1.01)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Reorderer(delay_s=0.0)
+        with pytest.raises(ValueError):
+            Reorderer(delay_s=0.1, every_nth=1)
+
+
+class TestQueue:
+    def test_empty_queue_is_transparent(self):
+        q = Queue(capacity_bytes=10_000_000)
+        s = spec(nbytes=100_000)
+        assert q.apply(s) == s
+
+    def test_standing_backlog_delays_the_next_transfer(self):
+        q = Queue(capacity_bytes=1_000_000)
+        # Fill the queue: a burst far beyond what drains in-window.
+        q.apply(
+            spec(response_start=0.0, end=0.1, nbytes=900_000, payload_rate=100_000)
+        )
+        out = q.apply(
+            spec(response_start=0.2, end=0.3, nbytes=10_000, payload_rate=100_000)
+        )
+        assert out.end > 0.3  # waited behind the backlog
+        assert q.stats()["delayed_transfers"] >= 1
+        assert q.stats()["queue_delay_s"] > 0
+
+    def test_overflow_tail_drops(self):
+        q = Queue(capacity_bytes=50_000)
+        out = q.apply(
+            spec(
+                response_start=0.0,
+                end=0.1,
+                nbytes=500_000,
+                n_down=343,
+                payload_rate=100_000,
+            )
+        )
+        assert q.stats()["dropped_packets"] > 0
+        assert out.n_packets_down > 343
+
+    def test_backlog_is_capped_at_capacity(self):
+        q = Queue(capacity_bytes=50_000)
+        q.apply(spec(nbytes=5_000_000, n_down=3425, payload_rate=100_000))
+        assert q._backlog <= 50_000
+
+
+class TestNetPath:
+    def make_link(self):
+        return Link(trace=fcc_trace(np.random.default_rng(0)))
+
+    def test_delegates_link_interface(self):
+        link = self.make_link()
+        path = NetPath(link)
+        assert path.trace is link.trace
+        assert path.efficiency == link.efficiency
+        assert path.delivery_time(0.0, 10_000) == link.delivery_time(0.0, 10_000)
+        assert path.deliverable_bytes(0.0, 5.0) == link.deliverable_bytes(0.0, 5.0)
+        assert path.payload_rate_at(1.0) == link.payload_rate_at(1.0)
+
+    def test_stages_fold_in_order(self):
+        path = NetPath(
+            self.make_link(),
+            stages=(
+                TokenBucketPolicer(1_000_000, 10_000),
+                Queue(capacity_bytes=1_000_000),
+            ),
+            scenario="test",
+        )
+        s = spec(nbytes=500_000, end=1.0)
+        out = path.impair(s)
+        assert out.end > s.end
+        stats = path.stats()
+        assert set(stats) == {"policer", "queue"}
+        assert stats["policer"]["policed_transfers"] == 1
+
+    def test_repeated_stage_kinds_get_suffixes(self):
+        path = NetPath(
+            self.make_link(),
+            stages=(
+                TokenBucketPolicer(1_000_000, 10_000),
+                TokenBucketPolicer(2_000_000, 20_000),
+            ),
+        )
+        assert set(path.stats()) == {"policer", "policer#1"}
+
+    def test_identity_path_has_no_impairments(self):
+        path = NetPath(self.make_link())
+        assert not path.has_impairments
+        s = spec()
+        assert path.impair(s) == s
+        # A bare Link must NOT expose impair: that absence is what keeps
+        # the TCP hot path untouched for identity corpora.
+        assert not hasattr(self.make_link(), "impair")
