@@ -36,6 +36,7 @@ __all__ = [
     "extract_features",
     "get_config",
     "list_scenarios",
+    "list_workloads",
     "load_corpus",
     "run_experiment",
     "train_model",
@@ -54,6 +55,7 @@ _API_NAMES = frozenset(
         "detect_sessions",
         "extract_features",
         "list_scenarios",
+        "list_workloads",
         "load_corpus",
         "run_experiment",
         "train_model",

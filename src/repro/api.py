@@ -57,6 +57,7 @@ __all__ = [
     "detect_sessions",
     "extract_features",
     "list_scenarios",
+    "list_workloads",
     "load_corpus",
     "run_experiment",
     "train_model",
@@ -73,6 +74,7 @@ def collect_corpus(
     seed: int = 0,
     config: CollectionConfig | None = None,
     scenario: "str | None" = None,
+    workload: "str | None" = None,
     jobs: int | None = None,
     out: "str | None" = None,
     shard_size: int | None = None,
@@ -82,7 +84,9 @@ def collect_corpus(
     Parameters
     ----------
     service:
-        Service profile name (``"svc1"``/``"svc2"``/``"svc3"``).
+        Profile name within the resolved workload (``"svc1"`` for
+        ``has``, ``"live1"`` for ``live``, ``"rtc1"`` for ``rtc``; see
+        :func:`list_workloads`).
     n_sessions:
         Sessions to collect (the paper's corpora are 2111/2216/1440).
     seed:
@@ -98,6 +102,14 @@ def collect_corpus(
         argument's scenario, then ``REPRO_SCENARIO``, then identity.
         Unknown names raise
         :class:`~repro.net.scenarios.UnknownScenarioError` before any
+        session is simulated.
+    workload:
+        Application model to generate (see :func:`list_workloads`).
+        Default: the ``config`` argument's workload, then
+        ``REPRO_WORKLOAD``, then ``has`` (the paper's on-demand HAS
+        pipeline, bit-identical to pre-registry corpora).  Unknown
+        names raise
+        :class:`~repro.workloads.UnknownWorkloadError` before any
         session is simulated.
     jobs:
         Worker processes (default: the resolved config's ``jobs``).
@@ -127,16 +139,26 @@ def collect_corpus(
         config = dataclasses.replace(
             config or CollectionConfig(), scenario=resolve_scenario(scenario)
         )
+    if workload is not None:
+        from repro.workloads import resolve_workload
+
+        # Validate before any session is simulated; the harness pins
+        # the resolution into the config for pool/fleet workers.
+        workload = resolve_workload(workload)
     if out is not None:
         from repro.collection.fleet import collect_corpus_sharded
 
         return collect_corpus_sharded(
             service, n_sessions, out,
             shard_size=shard_size, seed=seed, config=config, n_jobs=jobs,
+            workload=workload,
         )
     if shard_size is not None:
         raise ValueError("shard_size needs out= (a target shard directory)")
-    return _collect_corpus(service, n_sessions, seed=seed, config=config, n_jobs=jobs)
+    return _collect_corpus(
+        service, n_sessions, seed=seed, config=config, n_jobs=jobs,
+        workload=workload,
+    )
 
 
 def list_scenarios() -> "list[dict[str, str]]":
@@ -157,6 +179,28 @@ def list_scenarios() -> "list[dict[str, str]]":
             "pipeline": sc.describe(),
         }
         for sc in all_scenarios()
+    ]
+
+
+def list_workloads() -> "list[dict[str, object]]":
+    """The registered workloads (application models), default first.
+
+    Each entry is ``{"name", "title", "description", "profiles"}``
+    where ``profiles`` lists the profile names :func:`collect_corpus`
+    accepts as ``service`` for that workload.  Pass an entry's ``name``
+    as ``workload=`` (or set ``REPRO_WORKLOAD``) to generate that
+    application's traffic.
+    """
+    from repro.workloads import all_workloads
+
+    return [
+        {
+            "name": wl.name,
+            "title": wl.title,
+            "description": wl.description,
+            "profiles": wl.profile_names(),
+        }
+        for wl in all_workloads()
     ]
 
 

@@ -1,13 +1,15 @@
 """Command-line interface.
 
-Ten subcommands cover the operational workflow an ISP user of this
+The subcommands cover the operational workflow an ISP user of this
 library would run::
 
     python -m repro collect  --service svc1 -n 500 -o corpus.json.gz
     python -m repro collect  --service svc1 -n 5000 --shard-size 512 -o corpus.shards
     python -m repro collect  --service svc1 -n 500 --scenario policed-2mbps -o policed.json.gz
+    python -m repro collect  --service rtc1 --workload rtc -n 500 -o calls.json.gz
     python -m repro corpus   info|verify|shard PATH [-o DIR --shard-size N]
     python -m repro scenario [--list] [NAME ...]
+    python -m repro workload [--list] [NAME ...]
     python -m repro train    --corpus corpus.json.gz -o model.pkl
     python -m repro evaluate --corpus corpus.json.gz [--model model.pkl]
     python -m repro split    --transactions stream.json [--demo svc1]
@@ -114,6 +116,17 @@ def _scenario_name(text: str) -> str:
     return text
 
 
+def _workload_name(text: str) -> str:
+    """Validate a ``--workload`` value against the registry up front."""
+    from repro.workloads import UnknownWorkloadError, get_workload
+
+    try:
+        get_workload(text)
+    except UnknownWorkloadError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _resolve_cli_scenario(args: argparse.Namespace):
     """The scenario ``collect`` should stream over, or an error string.
 
@@ -150,15 +163,25 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     from repro.collection.harness import (
         CollectionConfig,
         resolve_collection_scenario,
+        resolve_collection_workload,
     )
 
     scenario, error = _resolve_cli_scenario(args)
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    config = CollectionConfig(scenario=scenario)
+    config = CollectionConfig(scenario=scenario, workload=args.workload)
     resolved = resolve_collection_scenario(config)
     over = "" if resolved.is_identity else f" over scenario {resolved.name}"
+    wl = resolve_collection_workload(config)
+    try:
+        # Validate the service against the resolved workload's profiles
+        # before any session is simulated.
+        wl.get_profile(args.service)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    as_workload = "" if wl.is_default else f" ({wl.name} workload)"
 
     shard_size = args.shard_size
     if shard_size is None:
@@ -181,7 +204,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         suffix = ""
     dist = dataset.label_distribution("combined")
     print(
-        f"collected {len(dataset)} {args.service} sessions{over} "
+        f"collected {len(dataset)} {args.service} sessions{as_workload}{over} "
         f"-> {args.output}{suffix} "
         f"(combined QoE: {dist[0]:.0%}/{dist[1]:.0%}/{dist[2]:.0%} low/med/high)"
     )
@@ -215,6 +238,28 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro import workloads as workloads_mod
+
+    if args.list or not args.names:
+        names = workloads_mod.workload_names()
+        name_w = max(len(n) for n in names)
+        for name in names:
+            wl = workloads_mod.get_workload(name)
+            print(f"{name:<{name_w}}  {wl.title}")
+        return 0
+    try:
+        picked = [workloads_mod.get_workload(name) for name in args.names]
+    except workloads_mod.UnknownWorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for wl in picked:
+        print(f"{wl.name}: {wl.title}")
+        print(f"  {wl.description}")
+        print(f"  profiles: {', '.join(wl.profile_names())}")
+    return 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     from repro.collection.dataset import DatasetFormatError
     from repro.collection.shards import ShardedDataset, save_sharded
@@ -243,6 +288,9 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             print(f"{args.path}: format {version} (monolithic file)")
             print(f"  service: {dataset.service}")
             print(f"  sessions: {len(dataset)}")
+        workload = getattr(dataset, "workload", "has")
+        if workload != "has":
+            print(f"  workload: {workload}")
         scenario = getattr(dataset, "scenario", "identity")
         if scenario != "identity":
             policed = int(dataset.labels("policed").sum())
@@ -601,7 +649,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("collect", help="simulate and store a session corpus")
-    p.add_argument("--service", choices=("svc1", "svc2", "svc3"), required=True)
+    p.add_argument(
+        "--service", required=True, metavar="NAME",
+        help="profile within the workload: svc1/svc2/svc3 (has), "
+             "live1/live2/live3 (live), rtc1 (rtc) — "
+             "see 'repro workload --list'",
+    )
+    p.add_argument(
+        "--workload", type=_workload_name, default=None, metavar="NAME",
+        help="application model to generate: has (default), live, rtc "
+             "(also: REPRO_WORKLOAD; see 'repro workload --list')",
+    )
     p.add_argument("-n", "--sessions", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("-o", "--output", required=True)
@@ -646,6 +704,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true",
                    help="list registered scenarios and exit")
     p.set_defaults(func=_cmd_scenario)
+
+    p = sub.add_parser(
+        "workload",
+        help="list or describe application workloads",
+        description="With no arguments (or --list): one line per "
+                    "registered workload. With names: the full "
+                    "description and profile list of each.",
+    )
+    p.add_argument("names", nargs="*", help="e.g. has live rtc")
+    p.add_argument("--list", action="store_true",
+                   help="list registered workloads and exit")
+    p.set_defaults(func=_cmd_workload)
 
     p = sub.add_parser(
         "corpus",

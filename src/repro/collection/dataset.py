@@ -47,7 +47,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.has.player import SessionTrace
-from repro.has.services import ServiceProfile, get_service
+from repro.has.services import ServiceProfile
 from repro.net.packets import PacketTrace, synthesize_packet_trace
 from repro.net.tcp import Transfer
 from repro.qoe.labels import SessionLabels, compute_labels
@@ -145,10 +145,16 @@ class SessionRecord:
     link_mean_bps: float
     session_hosts: tuple[str, ...] = ()
     scenario: str = "identity"
+    workload: str = "has"
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_trace(cls, trace: SessionTrace, profile: ServiceProfile) -> "SessionRecord":
+    def from_trace(
+        cls,
+        trace: SessionTrace,
+        profile: ServiceProfile,
+        workload: str = "has",
+    ) -> "SessionRecord":
         """Reduce a full simulation trace to its stored record."""
         http = {
             "start": np.array([t.start for t in trace.http_transactions]),
@@ -205,6 +211,7 @@ class SessionRecord:
             link_mean_bps=trace.link_mean_bps,
             session_hosts=tuple(sorted(trace.hosts.all_hosts)),
             scenario=getattr(trace, "scenario", "identity"),
+            workload=workload,
         )
 
     # ------------------------------------------------------------------
@@ -290,11 +297,14 @@ class SessionRecord:
             "link_mean_bps": self.link_mean_bps,
             "session_hosts": list(self.session_hosts),
         }
-        # Scenario metadata and the policed label are written only when
-        # set: identity corpora must serialize byte-for-byte as before
-        # the scenario engine existed (golden-digest contract).
+        # Scenario/workload metadata and the policed label are written
+        # only when set: identity/has corpora must serialize
+        # byte-for-byte as before those registries existed
+        # (golden-digest contract).
         if self.scenario != "identity":
             payload["scenario"] = self.scenario
+        if self.workload != "has":
+            payload["workload"] = self.workload
         if self.labels.policed:
             payload["labels"]["policed"] = self.labels.policed
         if include_tls:
@@ -362,6 +372,7 @@ class SessionRecord:
             link_mean_bps=payload["link_mean_bps"],
             session_hosts=tuple(payload["session_hosts"]),
             scenario=payload.get("scenario", "identity"),
+            workload=payload.get("workload", "has"),
         )
 
 
@@ -388,8 +399,24 @@ class Dataset:
 
     @property
     def profile(self) -> ServiceProfile:
-        """The service profile this corpus was collected on."""
-        return get_service(self.service)
+        """The profile this corpus was collected on.
+
+        Resolved through the workload registry (imported lazily to
+        keep this module importable without :mod:`repro.workloads`), so
+        RTC and live corpora return their own profile types.
+        """
+        from repro.workloads import get_workload
+
+        return get_workload(self.workload).get_profile(self.service)
+
+    @property
+    def workload(self) -> str:
+        """The workload the corpus was collected under.
+
+        Corpora are collected under exactly one workload, so the first
+        session's record speaks for all (empty corpora are ``has``).
+        """
+        return self.sessions[0].workload if self.sessions else "has"
 
     @property
     def scenario(self) -> str:

@@ -47,6 +47,7 @@ from repro.collection.harness import (
     CollectionConfig,
     collect_records,
     resolve_collection_scenario,
+    resolve_collection_workload,
 )
 from repro.collection.shards import (
     ShardEntry,
@@ -62,7 +63,7 @@ from repro.features.tls_features import (
     extract_tls_table,
     feature_names,
 )
-from repro.has.services import ServiceProfile, get_service
+from repro.has.services import ServiceProfile
 from repro.parallel import parallel_dispatch, resolve_jobs
 
 __all__ = [
@@ -131,6 +132,7 @@ def collect_corpus_sharded(
     seed: int = 0,
     config: CollectionConfig | None = None,
     n_jobs: int | None = None,
+    workload=None,
 ) -> ShardedDataset:
     """Collect a corpus directly into a format-4 shard directory.
 
@@ -145,14 +147,17 @@ def collect_corpus_sharded(
     """
     if n_sessions < 0:
         raise ValueError("n_sessions must be non-negative")
-    profile = service if isinstance(service, ServiceProfile) else get_service(service)
     config = config or CollectionConfig()
-    # Pin the resolved scenario before dispatch: fleet workers re-parse
-    # their own environment, so a coordinator-side override would
-    # otherwise silently degrade to identity (and break bit-identity
-    # between worker counts).
+    if workload is None and not isinstance(service, str):
+        workload = getattr(service, "workload", None)
+    wl = resolve_collection_workload(config, workload)
+    profile = wl.get_profile(service) if isinstance(service, str) else service
+    # Pin the resolved scenario and workload before dispatch: fleet
+    # workers re-parse their own environment, so a coordinator-side
+    # override would otherwise silently degrade to the defaults (and
+    # break bit-identity between worker counts).
     scenario = resolve_collection_scenario(config)
-    config = dataclasses.replace(config, scenario=scenario)
+    config = dataclasses.replace(config, scenario=scenario, workload=wl)
     shard_size = _resolve_shard_size(shard_size)
     root = Path(out)
     root.mkdir(parents=True, exist_ok=True)
@@ -180,7 +185,11 @@ def collect_corpus_sharded(
         write_manifest(
             root,
             manifest_payload(
-                profile.name, shard_size, entries, scenario=scenario.name
+                profile.name,
+                shard_size,
+                entries,
+                scenario=scenario.name,
+                workload=wl.name,
             ),
         )
     return ShardedDataset.load(root)

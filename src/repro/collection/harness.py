@@ -12,13 +12,14 @@ from __future__ import annotations
 import dataclasses
 import pickle
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import telemetry
 from repro.collection.dataset import Dataset, SessionRecord
 from repro.has.player import PlayerSession, SessionTrace
-from repro.has.services import ServiceProfile, get_service
+from repro.has.services import ServiceProfile
 from repro.has.video import Video
 from repro.config import get_config
 from repro.net.bandwidth import BandwidthTrace, TraceFamily, generate_trace
@@ -26,10 +27,14 @@ from repro.net.scenarios import Scenario, resolve_scenario
 from repro.net.tcp import TcpParams
 from repro.parallel import parallel_map, resolve_jobs
 
+if TYPE_CHECKING:
+    from repro.workloads import Workload
+
 __all__ = [
     "CollectionConfig",
     "default_tcp_params",
     "resolve_collection_scenario",
+    "resolve_collection_workload",
     "collect_session",
     "collect_records",
     "collect_corpus",
@@ -60,6 +65,11 @@ class CollectionConfig:
     streams over; ``None`` inherits ``REPRO_SCENARIO`` (resolved at
     collection time and pinned into the config before worker dispatch,
     so pool workers never re-read the coordinator's environment).
+
+    ``workload`` names the application model sessions run
+    (:mod:`repro.workloads`); ``None`` inherits ``REPRO_WORKLOAD`` and
+    is pinned the same way.  The default resolves to ``has``, which
+    reproduces the pre-registry pipeline bit for bit.
     """
 
     min_watch_s: float = 30.0
@@ -73,6 +83,7 @@ class CollectionConfig:
     )
     catalog_seed: int = 0
     scenario: str | Scenario | None = None
+    workload: str | Workload | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.min_watch_s <= self.max_watch_s:
@@ -121,6 +132,26 @@ def resolve_collection_scenario(
     return resolve_scenario(get_config().scenario)
 
 
+def resolve_collection_workload(
+    config: CollectionConfig | None = None,
+    workload: str | Workload | None = None,
+) -> Workload:
+    """Resolve the workload a collection run generates.
+
+    Same precedence chain as :func:`resolve_collection_scenario`:
+    explicit argument > ``CollectionConfig.workload`` >
+    ``REPRO_WORKLOAD``.  Imported lazily so this module stays importable
+    without :mod:`repro.workloads` (which imports the profile modules).
+    """
+    from repro.workloads import resolve_workload
+
+    if workload is not None:
+        return resolve_workload(workload)
+    if config is not None and config.workload is not None:
+        return resolve_workload(config.workload)
+    return resolve_workload(get_config().workload)
+
+
 def collect_session(
     profile: ServiceProfile,
     video: Video,
@@ -163,15 +194,22 @@ def collect_records(
     count.  This is the unit of work both the in-process pool
     (:func:`collect_corpus`) and the shard fleet
     (:mod:`repro.collection.fleet`) execute.
+
+    The workload's session source is built once per chunk (that is
+    where catalogs are constructed), then driven once per seed — the
+    exact draw order of the pre-registry harness, so default-workload
+    corpora are bit-identical to it.
     """
     with telemetry.span("collect_chunk", sessions=len(seeds)):
-        catalog = profile.make_catalog(seed=config.catalog_seed)
+        wl = resolve_collection_workload(config)
+        collect_one = wl.session_source(profile, config)
         records = []
         for seed_seq in seeds:
             rng = np.random.default_rng(seed_seq)
-            video = catalog.sample(rng)
-            trace = collect_session(profile, video, rng, config=config)
-            records.append(SessionRecord.from_trace(trace, profile))
+            trace = collect_one(rng)
+            records.append(
+                SessionRecord.from_trace(trace, profile, workload=wl.name)
+            )
         telemetry.count("collection.sessions", len(seeds))
     return records
 
@@ -190,12 +228,19 @@ def collect_corpus(
     seed: int = 0,
     config: CollectionConfig | None = None,
     n_jobs: int | None = None,
+    workload: str | Workload | None = None,
 ) -> Dataset:
     """Collect a corpus of sessions for one service.
 
     The paper's corpora are 2,111 (Svc1), 2,216 (Svc2) and 1,440
     (Svc3) sessions; pass those counts to regenerate the evaluation at
     full scale, or fewer for quick runs.
+
+    ``workload`` selects the application model (``has``/``live``/
+    ``rtc``); string ``service`` names are looked up among the resolved
+    workload's profiles.  A profile *object* carries its own workload
+    tag, which wins over config/environment when no explicit argument
+    is given.
 
     Sessions are independent, so collection fans out over a process
     pool (``n_jobs``; defaults to ``REPRO_JOBS``/all cores).  Each
@@ -205,13 +250,17 @@ def collect_corpus(
     """
     if n_sessions < 0:
         raise ValueError("n_sessions must be non-negative")
-    profile = service if isinstance(service, ServiceProfile) else get_service(service)
     config = config or CollectionConfig()
-    # Pin the resolved scenario into the config before dispatch: pool
-    # workers re-parse their own environment, so a coordinator-side
-    # config.override() would otherwise silently degrade to identity.
+    if workload is None and not isinstance(service, str):
+        workload = getattr(service, "workload", None)
+    wl = resolve_collection_workload(config, workload)
+    profile = wl.get_profile(service) if isinstance(service, str) else service
+    # Pin the resolved scenario and workload into the config before
+    # dispatch: pool workers re-parse their own environment, so a
+    # coordinator-side config.override() would otherwise silently
+    # degrade to the defaults.
     config = dataclasses.replace(
-        config, scenario=resolve_collection_scenario(config)
+        config, scenario=resolve_collection_scenario(config), workload=wl
     )
     jobs = resolve_jobs(n_jobs)
     if jobs > 1:

@@ -148,12 +148,15 @@ def encode_shard(service: str, records: "Sequence[SessionRecord]") -> dict:
         arrays[f"label_{target}"] = np.array(
             [r.labels.get(target) for r in records], dtype=np.int64
         )
-    # Scenario metadata and the policed label appear only in impaired
-    # corpora: identity shards must serialize byte-for-byte as before
-    # the scenario engine existed (golden-digest contract).
+    # Scenario/workload metadata and the policed label appear only when
+    # non-default: identity/has shards must serialize byte-for-byte as
+    # before those registries existed (golden-digest contract).
     scenario = records[0].scenario if records else "identity"
     if scenario != "identity":
         arrays["scenario"] = _str_array([scenario])
+    workload = records[0].workload if records else "has"
+    if workload != "has":
+        arrays["workload"] = _str_array([workload])
     policed = np.array([r.labels.policed for r in records], dtype=np.int64)
     if policed.any():
         arrays["label_policed"] = policed
@@ -195,6 +198,7 @@ def decode_shard(arrays: dict) -> "Dataset":
 
     service = str(arrays["service"][0])
     scenario = str(arrays["scenario"][0]) if "scenario" in arrays else "identity"
+    workload = str(arrays["workload"][0]) if "workload" in arrays else "has"
     policed = (
         np.asarray(arrays["label_policed"], dtype=np.int64)
         if "label_policed" in arrays
@@ -262,6 +266,7 @@ def decode_shard(arrays: dict) -> "Dataset":
                     hosts[host_offsets[i]:host_offsets[i + 1]]
                 ),
                 scenario=scenario,
+                workload=workload,
             )
         )
     dataset = Dataset(service=service, sessions=sessions)
@@ -349,12 +354,14 @@ def manifest_payload(
     shard_size: int,
     entries: Sequence[ShardEntry],
     scenario: str = "identity",
+    workload: str = "has",
 ) -> dict:
     """The manifest dict for a list of shard entries.
 
-    The scenario key is emitted only for impaired corpora, so identity
-    manifests — and therefore their digests, the artifact-cache content
-    addresses — are byte-identical to pre-scenario ones.
+    The scenario and workload keys are emitted only when non-default,
+    so identity/has manifests — and therefore their digests, the
+    artifact-cache content addresses — are byte-identical to
+    pre-registry ones.
     """
     payload = {
         "format": 4,
@@ -365,6 +372,8 @@ def manifest_payload(
     }
     if scenario != "identity":
         payload["scenario"] = str(scenario)
+    if workload != "has":
+        payload["workload"] = str(workload)
     return payload
 
 
@@ -419,6 +428,7 @@ def save_sharded(dataset, path: str | Path, shard_size: int) -> "ShardedDataset"
                 shard_size,
                 entries,
                 scenario=getattr(dataset, "scenario", "identity"),
+                workload=getattr(dataset, "workload", "has"),
             ),
         )
     return ShardedDataset.load(root)
@@ -453,6 +463,7 @@ class ShardedDataset:
         self.root = Path(root)
         self.service: str = str(payload["service"])
         self.scenario: str = str(payload.get("scenario", "identity"))
+        self.workload: str = str(payload.get("workload", "has"))
         self.shard_size: int = int(payload["shard_size"])
         self.entries: list[ShardEntry] = [
             ShardEntry.from_dict(e) for e in payload["shards"]
@@ -509,10 +520,10 @@ class ShardedDataset:
     # -- dataset interface ---------------------------------------------
     @property
     def profile(self):
-        """The service profile this corpus was collected on."""
-        from repro.has.services import get_service
+        """The profile this corpus was collected on (workload-aware)."""
+        from repro.workloads import get_workload
 
-        return get_service(self.service)
+        return get_workload(self.workload).get_profile(self.service)
 
     @property
     def n_shards(self) -> int:

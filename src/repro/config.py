@@ -3,7 +3,7 @@ environment.
 
 Every knob the pipeline honours (``REPRO_JOBS``, ``REPRO_SCALE``,
 ``REPRO_CACHE_DIR``, ``REPRO_SMOKE``, ``REPRO_TRACE``,
-``REPRO_SHARD_SIZE``, ``REPRO_SCENARIO``) is parsed here,
+``REPRO_SHARD_SIZE``, ``REPRO_SCENARIO``, ``REPRO_WORKLOAD``) is parsed here,
 exactly once per distinct environment, into one frozen
 :class:`Config`.  Downstream modules call :func:`get_config` (or take
 a ``Config`` argument) instead of reading ``os.environ`` themselves —
@@ -46,6 +46,7 @@ __all__ = [
     "SHARD_SIZE_ENV_VAR",
     "SMOKE_ENV_VAR",
     "TRACE_ENV_VAR",
+    "WORKLOAD_ENV_VAR",
     "get_config",
     "override",
     "set_env_default",
@@ -59,6 +60,7 @@ SMOKE_ENV_VAR = "REPRO_SMOKE"
 TRACE_ENV_VAR = "REPRO_TRACE"
 SHARD_SIZE_ENV_VAR = "REPRO_SHARD_SIZE"
 SCENARIO_ENV_VAR = "REPRO_SCENARIO"
+WORKLOAD_ENV_VAR = "REPRO_WORKLOAD"
 
 #: The variables that participate in a :class:`Config`, in display order.
 ENV_VARS = (
@@ -69,6 +71,7 @@ ENV_VARS = (
     TRACE_ENV_VAR,
     SHARD_SIZE_ENV_VAR,
     SCENARIO_ENV_VAR,
+    WORKLOAD_ENV_VAR,
 )
 
 #: Where ``REPRO_TRACE=1`` writes its trace (relative to the cwd);
@@ -110,6 +113,12 @@ class Config:
         pipeline).  The name is validated against the scenario registry
         at collection time, not here — config must stay importable
         without :mod:`repro.net`.
+    workload:
+        Traffic workload every collection run generates
+        (``REPRO_WORKLOAD``; default ``"has"``, the paper's on-demand
+        HTTP adaptive streaming services).  The name is validated
+        against the workload registry at collection time, not here —
+        config must stay importable without :mod:`repro.workloads`.
     sources:
         ``field name -> provenance`` ("env", "default", or an override
         label such as "--trace"), for ``config show``.
@@ -123,6 +132,7 @@ class Config:
     trace_path: Path | None = None
     shard_size: int | None = None
     scenario: str = "identity"
+    workload: str = "has"
     sources: Mapping[str, str] = field(
         default_factory=dict, compare=False, repr=False
     )
@@ -144,6 +154,7 @@ class Config:
                 SHARD_SIZE_ENV_VAR,
             ),
             ("scenario", self.scenario, SCENARIO_ENV_VAR),
+            ("workload", self.workload, WORKLOAD_ENV_VAR),
         ]
         return [
             (name, value, var, self.sources.get(name, "default"))
@@ -201,6 +212,14 @@ def _parse_scenario(raw: str | None) -> str:
     return raw.strip()
 
 
+def _parse_workload(raw: str | None) -> str:
+    if raw is None or not raw.strip():
+        return "has"
+    # Name validation (with the list of registered workloads in the
+    # error) happens in repro.workloads at collection time.
+    return raw.strip()
+
+
 def _parse_trace(raw: str | None) -> tuple[bool, Path | None]:
     if raw is None or raw.strip().lower() in ("", "0", "false", "off", "no"):
         return False, None
@@ -222,6 +241,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
             ("trace", TRACE_ENV_VAR),
             ("shard_size", SHARD_SIZE_ENV_VAR),
             ("scenario", SCENARIO_ENV_VAR),
+            ("workload", WORKLOAD_ENV_VAR),
         )
     }
     sources["trace_path"] = sources["trace"]
@@ -236,6 +256,7 @@ def _parse(snapshot: tuple[str | None, ...]) -> Config:
         trace_path=trace_path,
         shard_size=_parse_shard_size(raw[SHARD_SIZE_ENV_VAR]),
         scenario=_parse_scenario(raw[SCENARIO_ENV_VAR]),
+        workload=_parse_workload(raw[WORKLOAD_ENV_VAR]),
         sources=sources,
     )
 

@@ -34,6 +34,8 @@ Beyond the paper's artifacts (its stated future work and limitations):
 |                   | adversarial networks (policing, bufferbloat, ...)|
 | policing          | detect *that* a session was policed from the     |
 |                   | 38 TLS features (clean vs policed corpora)       |
+| generalization2   | cross-application transfer (HAS vs live vs RTC), |
+|                   | 38 TLS features vs the agnostic subset           |
 """
 
 from repro.experiments import common

@@ -49,10 +49,12 @@ from repro.tlsproxy.table import (
 __all__ = [
     "TEMPORAL_INTERVALS",
     "TLS_FEATURE_NAMES",
+    "agnostic_feature_names",
     "feature_groups",
     "extract_tls_features",
     "extract_tls_matrix",
     "extract_tls_table",
+    "select_features",
 ]
 
 #: Interval end-points (seconds) for the temporal features.  The paper
@@ -95,6 +97,38 @@ def feature_groups() -> dict[str, tuple[str, ...]]:
         "transaction_stats": _TXN_FEATURES,
         "temporal": _TEMPORAL_FEATURES,
     }
+
+
+def agnostic_feature_names() -> tuple[str, ...]:
+    """The application-agnostic feature subset (Berger et al. style).
+
+    The 22 session-level + transaction-statistic features: rates,
+    sizes, durations, and ratios that make no assumption about the
+    application's traffic shape.  What this drops is the temporal
+    group, whose cumulative-byte interval grid is tuned to buffered
+    HAS sessions (startup burst, then steady state out to 1200 s) —
+    the assumption RTC calls and live streams violate.
+    """
+    return _SESSION_FEATURES + _TXN_FEATURES
+
+
+def select_features(
+    X: np.ndarray,
+    names: Sequence[str],
+    subset: Sequence[str],
+) -> np.ndarray:
+    """Column-project a feature matrix onto a named subset, in order.
+
+    Raises ``ValueError`` naming any requested feature absent from
+    ``names`` (e.g. asking for a temporal column of an interval grid
+    the matrix was not extracted with).
+    """
+    index = {name: i for i, name in enumerate(names)}
+    missing = [name for name in subset if name not in index]
+    if missing:
+        raise ValueError(f"features not in this matrix: {missing}")
+    cols = np.fromiter((index[name] for name in subset), dtype=np.int64)
+    return np.asarray(X)[:, cols]
 
 
 def _stat_triple(values: np.ndarray) -> tuple[float, float, float]:

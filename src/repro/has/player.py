@@ -113,6 +113,10 @@ class SessionTrace:
         session?  Feeds the ``policed`` label.
     path_stats:
         Per-stage cumulative impairment counters (empty for identity).
+    app_stats:
+        Application-specific extras that have no HAS equivalent (e.g.
+        RTC mean frame rate and freeze count).  Empty for HAS sessions;
+        never serialized into corpora.
     """
 
     service_name: str
@@ -133,6 +137,7 @@ class SessionTrace:
     scenario: str = "identity"
     policed: bool = False
     path_stats: dict = field(default_factory=dict)
+    app_stats: dict = field(default_factory=dict)
 
     @property
     def play_time(self) -> float:

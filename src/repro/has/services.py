@@ -72,6 +72,11 @@ class ServiceProfile:
     #: decision — real players oscillate for reasons invisible on the
     #: wire (renderer hints, A/B-tested heuristics, device limits).
     abr_jitter: float = 0.1
+    #: Which workload registry entry this profile belongs to
+    #: (:mod:`repro.workloads`): ``"has"`` for the on-demand services
+    #: here, ``"live"`` for the low-buffer variants in
+    #: :mod:`repro.has.live`.
+    workload: str = "has"
 
     def __post_init__(self) -> None:
         if self.segment_duration_s <= 0:

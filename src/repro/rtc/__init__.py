@@ -1,0 +1,33 @@
+"""Real-time-communication (RTC) traffic model.
+
+Video calls are the traffic the paper never saw: bidirectional,
+latency-bound, and congestion-controlled — send rate tracks the
+estimated available bandwidth with delay-gradient backoff (GCC-style)
+instead of draining a deep playback buffer.  Sessions still exit
+through the same pipeline as HAS: a :class:`~repro.has.player.SessionTrace`
+whose TLS transactions, QoE labels, and scenario counters flow through
+datasets, shards, features, and the streaming detector untouched.
+
+Profiles register under the ``rtc`` workload in :mod:`repro.workloads`.
+"""
+
+from repro.rtc.collect import collect_rtc_session, rtc_session_source
+from repro.rtc.model import (
+    RTC_SERVICES,
+    RtcCallCatalog,
+    RtcCallSpec,
+    RtcProfile,
+    RtcSession,
+    get_rtc_service,
+)
+
+__all__ = [
+    "RTC_SERVICES",
+    "RtcCallCatalog",
+    "RtcCallSpec",
+    "RtcProfile",
+    "RtcSession",
+    "collect_rtc_session",
+    "get_rtc_service",
+    "rtc_session_source",
+]

@@ -1,0 +1,76 @@
+"""Collection entry points for RTC sessions.
+
+Mirrors :func:`repro.collection.harness.collect_session` so RTC
+corpora reuse the whole harness unchanged: same traces, same TCP
+parameter distribution, same scenario resolution chain, same
+per-session ``SeedSequence`` discipline (so corpora are bit-identical
+for any worker count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.collection.harness import (
+    CollectionConfig,
+    default_tcp_params,
+    resolve_collection_scenario,
+)
+from repro.has.player import SessionTrace
+from repro.net.bandwidth import BandwidthTrace
+from repro.net.scenarios import Scenario
+from repro.rtc.model import RtcCallSpec, RtcProfile, RtcSession
+
+__all__ = ["collect_rtc_session", "rtc_session_source"]
+
+
+def collect_rtc_session(
+    profile: RtcProfile,
+    call: RtcCallSpec,
+    rng: np.random.Generator,
+    trace: BandwidthTrace | None = None,
+    duration_s: float | None = None,
+    config: CollectionConfig | None = None,
+    scenario: "str | Scenario | None" = None,
+) -> SessionTrace:
+    """Simulate one RTC call end to end and return its trace.
+
+    The user hangs up at ``min(call.duration_s, sampled watch
+    duration)`` — calls end for the same impatience reasons HAS
+    sessions do.
+    """
+    config = config or CollectionConfig()
+    sc = resolve_collection_scenario(config, scenario)
+    if trace is None:
+        trace = config.sample_trace(rng)
+    if duration_s is None:
+        duration_s = min(call.duration_s, config.sample_watch_duration(rng))
+    session = RtcSession(
+        profile=profile,
+        call=call,
+        link=sc.build_path(trace),
+        rng=rng,
+        duration_s=duration_s,
+        tcp_params_factory=default_tcp_params,
+    )
+    return session.run()
+
+
+def rtc_session_source(
+    profile: RtcProfile, config: CollectionConfig
+) -> Callable[[np.random.Generator], SessionTrace]:
+    """Build the per-chunk session callable for the ``rtc`` workload.
+
+    The call catalog is built once per chunk (outside the per-seed RNG
+    stream), matching the HAS catalog discipline that keeps corpora
+    independent of worker count.
+    """
+    catalog = profile.make_catalog(seed=config.catalog_seed)
+
+    def collect_one(rng: np.random.Generator) -> SessionTrace:
+        call = catalog.sample(rng)
+        return collect_rtc_session(profile, call, rng, config=config)
+
+    return collect_one

@@ -1,0 +1,256 @@
+"""Workload registry: which *application's* traffic are we generating?
+
+The paper only ever watched on-demand HAS video, so "which traffic"
+was never a question the codebase had to answer — ``collect_corpus``
+took a service name and everything downstream assumed a buffered
+player.  RTC calls and live-HAS streams break that assumption, so the
+registry makes the application a first-class, named concept, exactly
+the way :mod:`repro.net.scenarios` did for the network and
+:mod:`repro.experiments.registry` did for experiments:
+
+>>> import repro
+>>> repro.list_workloads()
+['has', 'live', 'rtc']
+>>> ds = repro.collect_corpus("rtc1", n_sessions=50, workload="rtc")
+
+Each :class:`Workload` bundles a dict of named profiles with a
+*session source*: a factory that, given a profile and a
+:class:`~repro.collection.harness.CollectionConfig`, returns the
+per-seed callable the harness drives.  Resolution follows one chain —
+explicit argument > ``CollectionConfig.workload`` > ``REPRO_WORKLOAD``
+— and the default ``has`` workload reproduces the pre-registry
+pipeline bit for bit (pinned by ``tests/test_golden_identity.py``).
+
+Workloads are picklable (module-level session sources + frozen
+profiles) so a resolved :class:`Workload` can be pinned into the
+collection config and shipped to pool workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.has.live import LIVE_SERVICES
+from repro.has.services import SERVICES
+from repro.rtc.model import RTC_SERVICES, RtcProfile
+
+if TYPE_CHECKING:
+    from repro.collection.harness import CollectionConfig
+    from repro.has.player import SessionTrace
+    from repro.has.services import ServiceProfile
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "UnknownWorkloadError",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "resolve_workload",
+    "workload",
+    "workload_names",
+]
+
+#: The workload the pipeline collected before the registry existed.
+DEFAULT_WORKLOAD = "has"
+
+
+class UnknownWorkloadError(ValueError):
+    """Raised when a workload name is not in the registry."""
+
+
+#: A session source: called once per collection chunk with (profile,
+#: config), returns the callable the harness invokes once per seed.
+SessionSource = Callable[
+    ["ServiceProfile | RtcProfile", "CollectionConfig"],
+    Callable[[np.random.Generator], "SessionTrace"],
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One application model the collection harness can drive.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``has``/``live``/``rtc``).
+    title, description:
+        Human-readable summary for ``repro workload --list``.
+    profiles:
+        Named profiles this workload offers (e.g. ``svc1`` → its
+        :class:`~repro.has.services.ServiceProfile`).
+    session_source:
+        Module-level factory ``(profile, config) -> (rng -> trace)``;
+        the outer call runs once per collection chunk (catalog build),
+        the inner once per session seed.
+    """
+
+    name: str
+    title: str
+    description: str
+    profiles: dict
+    session_source: SessionSource
+
+    @property
+    def is_default(self) -> bool:
+        """True for the pre-registry ``has`` workload."""
+        return self.name == DEFAULT_WORKLOAD
+
+    def profile_names(self) -> list[str]:
+        """Names of this workload's profiles, sorted."""
+        return sorted(self.profiles)
+
+    def get_profile(self, name: str) -> "ServiceProfile | RtcProfile":
+        """Look up one of this workload's profiles by name."""
+        try:
+            return self.profiles[name.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile {name!r} for workload {self.name!r}; "
+                f"expected one of {self.profile_names()} "
+                f"(see `repro workload --list` for other workloads)"
+            ) from None
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def workload(
+    name: str,
+    *,
+    title: str,
+    description: str,
+    profiles: dict,
+) -> Callable[[SessionSource], SessionSource]:
+    """Register a session-source factory as a named workload.
+
+    Mirrors :func:`repro.experiments.registry.experiment`: decorate the
+    module-level session source, and the workload becomes resolvable by
+    name everywhere (facade, CLI, ``REPRO_WORKLOAD``).
+    """
+    if not name or not name.islower() or not name.isidentifier():
+        raise ValueError(f"workload name must be a lowercase identifier: {name!r}")
+
+    def decorate(source: SessionSource) -> SessionSource:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate workload name: {name!r}")
+        if not profiles:
+            raise ValueError(f"workload {name!r} must offer at least one profile")
+        _REGISTRY[name] = Workload(
+            name=name,
+            title=title,
+            description=description,
+            profiles=dict(profiles),
+            session_source=source,
+        )
+        return source
+
+    return decorate
+
+
+def workload_names() -> list[str]:
+    """Registered workload names, default first, then alphabetical."""
+    rest = sorted(n for n in _REGISTRY if n != DEFAULT_WORKLOAD)
+    return ([DEFAULT_WORKLOAD] if DEFAULT_WORKLOAD in _REGISTRY else []) + rest
+
+
+def all_workloads() -> list[Workload]:
+    """All registered workloads, in :func:`workload_names` order."""
+    return [_REGISTRY[n] for n in workload_names()]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by registry name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; expected one of {workload_names()}"
+        ) from None
+
+
+def resolve_workload(value: "str | Workload | None") -> Workload:
+    """Normalize a name/instance/None to a :class:`Workload`.
+
+    ``None`` (and blank strings) resolve to the default ``has``
+    workload, preserving the pre-registry behaviour.
+    """
+    if value is None:
+        return _REGISTRY[DEFAULT_WORKLOAD]
+    if isinstance(value, Workload):
+        return value
+    if isinstance(value, str):
+        if not value.strip():
+            return _REGISTRY[DEFAULT_WORKLOAD]
+        return get_workload(value.strip())
+    raise TypeError(
+        f"expected workload name, Workload, or None; got {type(value).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in workloads.
+# ----------------------------------------------------------------------
+
+def _player_session_source(profile, config):
+    """Shared buffered-player source for ``has`` and ``live``.
+
+    Reproduces the harness's pre-registry draw order exactly — catalog
+    built once per chunk, then per seed: sample a title, run a session
+    — so default-workload corpora stay bit-identical.
+    """
+    from repro.collection.harness import collect_session
+
+    catalog = profile.make_catalog(seed=config.catalog_seed)
+
+    def collect_one(rng: np.random.Generator):
+        video = catalog.sample(rng)
+        return collect_session(profile, video, rng, config=config)
+
+    return collect_one
+
+
+@workload(
+    "has",
+    title="On-demand HAS video (the paper's workload)",
+    description=(
+        "Buffered adaptive-bitrate players (svc1/svc2/svc3) streaming "
+        "on-demand titles; deep buffers, ABR ladders, DRM, beacons."
+    ),
+    profiles=SERVICES,
+)
+def _has_session_source(profile, config):
+    return _player_session_source(profile, config)
+
+
+@workload(
+    "live",
+    title="Live-HAS video (low-latency, rebuffer-prone)",
+    description=(
+        "Live variants of the HAS services (live1/live2/live3): 2s "
+        "segments, 3-6s latency-target buffers, aggressive ABR — any "
+        "bandwidth dip longer than the buffer rebuffers."
+    ),
+    profiles=LIVE_SERVICES,
+)
+def _live_session_source(profile, config):
+    return _player_session_source(profile, config)
+
+
+@workload(
+    "rtc",
+    title="Real-time video calls (GCC-style congestion control)",
+    description=(
+        "Bidirectional, latency-bound calls (rtc1): send rate tracks "
+        "estimated bandwidth with delay-gradient backoff; no playback "
+        "buffer, so late media freezes the call and drops frames."
+    ),
+    profiles=RTC_SERVICES,
+)
+def _rtc_session_source(profile, config):
+    from repro.rtc.collect import rtc_session_source
+
+    return rtc_session_source(profile, config)

@@ -31,6 +31,7 @@ class TestSignatures:
             "detect_sessions",
             "extract_features",
             "list_scenarios",
+            "list_workloads",
             "load_corpus",
             "run_experiment",
             "train_model",

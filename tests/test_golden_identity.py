@@ -87,3 +87,24 @@ def test_explicit_identity_config_matches_default(tmp_path):
     default.save(a)
     explicit.save(b)
     assert a.read_bytes() == b.read_bytes()
+
+
+def test_explicit_has_workload_matches_golden(tmp_path):
+    # The workload registry's default ("has") path must reproduce the
+    # pre-registry corpus byte for byte, whether resolved implicitly or
+    # requested explicitly — same RNG draw order, no serialized
+    # ``workload`` key.
+    from repro.collection.harness import CollectionConfig
+
+    explicit = collect_corpus(
+        SERVICE,
+        N_SESSIONS,
+        seed=SEED,
+        config=CollectionConfig(workload="has"),
+    )
+    path = tmp_path / "explicit.json"
+    explicit.save(path)
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert digest == GOLDEN_FORMAT3_SHA256, (
+        "explicit workload='has' perturbed the golden corpus bytes"
+    )
